@@ -1,0 +1,174 @@
+// Command acctl drives acnode deployments: it issues Add/Revoke operations
+// to a manager, and Invoke requests to an application host.
+//
+//	acctl -to m0=127.0.0.1:7000 grant  stocks alice        # use right
+//	acctl -to m0=127.0.0.1:7000 grant  stocks bob manage   # manage right
+//	acctl -to m0=127.0.0.1:7000 revoke stocks alice
+//	acctl -to h0=127.0.0.1:7100 invoke stocks alice "quote ACME"
+//
+// Grant/revoke wait for the update quorum acknowledgment (the point at
+// which the Te guarantee begins); invoke prints the application's reply.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wanac/internal/auth"
+	"wanac/internal/tcpnet"
+	"wanac/internal/udpnet"
+	"wanac/internal/wire"
+)
+
+func main() {
+	var (
+		to      = flag.String("to", "", "target node as id=addr (required)")
+		issuer  = flag.String("issuer", "root", "issuing manager user for grant/revoke")
+		timeout = flag.Duration("timeout", 10*time.Second, "reply timeout")
+		trans   = flag.String("transport", "tcp", "tcp | udp (must match the target acnode)")
+		keyFile = flag.String("key", "", "private key file from ackeygen: seal and sign operations")
+		asUser  = flag.String("as", "", "identity for the -key (defaults to -issuer for grant/revoke, <user> for invoke)")
+	)
+	flag.Parse()
+	if err := run(*to, *issuer, *timeout, *trans, *keyFile, *asUser, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "acctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(to, issuer string, timeout time.Duration, trans, keyFile, asUser string, args []string) error {
+	kv := strings.SplitN(to, "=", 2)
+	if len(kv) != 2 {
+		return fmt.Errorf("-to must be id=addr")
+	}
+	target, addr := wire.NodeID(kv[0]), kv[1]
+	if len(args) < 3 {
+		return fmt.Errorf("usage: acctl -to id=addr grant|revoke|invoke <app> <user> [right|payload]")
+	}
+	verb, app, user := args[0], wire.AppID(args[1]), wire.UserID(args[2])
+
+	var signer *auth.Ed25519Signer
+	if keyFile != "" {
+		raw, err := os.ReadFile(keyFile)
+		if err != nil {
+			return err
+		}
+		signer, err = auth.ParseEd25519Signer(string(raw))
+		if err != nil {
+			return err
+		}
+	}
+	seal := func(identity wire.UserID, msg wire.Message) (wire.Message, error) {
+		if signer == nil {
+			return msg, nil
+		}
+		if asUser != "" {
+			identity = wire.UserID(asUser)
+		}
+		return auth.Seal(identity, signer, msg)
+	}
+
+	replies := make(chan wire.Message, 4)
+	sink := handlerFunc(func(_ wire.NodeID, msg wire.Message) { replies <- msg })
+
+	var send func(msg wire.Message)
+	switch trans {
+	case "tcp":
+		node, err := tcpnet.Listen("acctl", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		node.AddPeer(target, addr)
+		node.SetHandler(sink)
+		send = func(msg wire.Message) { node.Send(target, msg) }
+	case "udp":
+		node, err := udpnet.Listen("acctl", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		if err := node.AddPeer(target, addr); err != nil {
+			return err
+		}
+		node.SetHandler(sink)
+		send = func(msg wire.Message) { node.Send(target, msg) }
+	default:
+		return fmt.Errorf("unknown transport %q", trans)
+	}
+
+	switch verb {
+	case "grant", "revoke":
+		op := wire.OpAdd
+		if verb == "revoke" {
+			op = wire.OpRevoke
+		}
+		right := wire.RightUse
+		if len(args) >= 4 && args[3] == "manage" {
+			right = wire.RightManage
+		}
+		msg, err := seal(wire.UserID(issuer), wire.AdminOp{
+			Op: op, App: app, User: user, Right: right,
+			Issuer: wire.UserID(issuer), ReqID: uint64(time.Now().UnixNano()),
+		})
+		if err != nil {
+			return err
+		}
+		send(msg)
+		// First reply: accepted/rejected. Second: quorum reached.
+		deadline := time.After(timeout)
+		for {
+			select {
+			case msg := <-replies:
+				r, ok := msg.(wire.AdminReply)
+				if !ok {
+					continue
+				}
+				switch {
+				case r.Err != "":
+					return fmt.Errorf("rejected: %s", r.Err)
+				case r.QuorumReached:
+					fmt.Printf("%s %s %s: update quorum reached — revocation bound active\n", verb, app, user)
+					return nil
+				case r.Accepted:
+					fmt.Printf("%s %s %s: accepted, waiting for update quorum...\n", verb, app, user)
+				}
+			case <-deadline:
+				return fmt.Errorf("timed out waiting for quorum (operation may still complete)")
+			}
+		}
+	case "invoke":
+		var payload []byte
+		if len(args) >= 4 {
+			payload = []byte(args[3])
+		}
+		msg, err := seal(user, wire.Invoke{App: app, User: user, ReqID: 1, Payload: payload})
+		if err != nil {
+			return err
+		}
+		send(msg)
+		select {
+		case msg := <-replies:
+			r, ok := msg.(wire.InvokeReply)
+			if !ok {
+				return fmt.Errorf("unexpected reply %T", msg)
+			}
+			if !r.Allowed {
+				return fmt.Errorf("access denied for %s on %s", user, app)
+			}
+			fmt.Printf("allowed; application replied: %s\n", r.Output)
+			return nil
+		case <-time.After(timeout):
+			return fmt.Errorf("timed out")
+		}
+	default:
+		return fmt.Errorf("unknown verb %q", verb)
+	}
+}
+
+type handlerFunc func(from wire.NodeID, msg wire.Message)
+
+func (f handlerFunc) HandleMessage(from wire.NodeID, msg wire.Message) { f(from, msg) }

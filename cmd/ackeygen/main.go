@@ -1,0 +1,75 @@
+// Command ackeygen provisions Ed25519 identities for authenticated
+// deployments (§2.1's authentication assumption, realized):
+//
+//	ackeygen -users root,alice,bob -dir ./keys
+//
+// writes one private key file per user (keys/<user>.key, mode 0600) and a
+// shared keyring file (keys/keyring.json) that acnode loads with -keyring.
+// Users pass their private key to acctl with -key.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wanac/internal/auth"
+	"wanac/internal/wire"
+)
+
+func main() {
+	var (
+		users = flag.String("users", "", "comma-separated user ids (required)")
+		dir   = flag.String("dir", "keys", "output directory")
+	)
+	flag.Parse()
+	if err := run(*users, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "ackeygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(users, dir string) error {
+	if users == "" {
+		return fmt.Errorf("-users is required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	signers := make(map[wire.UserID]*auth.Ed25519Signer)
+	for _, raw := range strings.Split(users, ",") {
+		user := wire.UserID(strings.TrimSpace(raw))
+		if user == "" {
+			continue
+		}
+		if _, dup := signers[user]; dup {
+			return fmt.Errorf("duplicate user %q", user)
+		}
+		signer, err := auth.GenerateEd25519(nil)
+		if err != nil {
+			return err
+		}
+		signers[user] = signer
+		keyPath := filepath.Join(dir, string(user)+".key")
+		if err := os.WriteFile(keyPath, []byte(signer.MarshalPrivate()+"\n"), 0o600); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", keyPath)
+	}
+	if len(signers) == 0 {
+		return fmt.Errorf("no users given")
+	}
+	ringPath := filepath.Join(dir, "keyring.json")
+	f, err := os.Create(ringPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := auth.SaveKeyring(f, signers); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d users)\n", ringPath, len(signers))
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wanac/internal/auth"
+)
+
+func TestRunGeneratesUsableKeys(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("root, alice ,", dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Private key files exist with restrictive permissions.
+	for _, u := range []string{"root", "alice"} {
+		info, err := os.Stat(filepath.Join(dir, u+".key"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Mode().Perm() != 0o600 {
+			t.Errorf("%s.key perm = %o", u, info.Mode().Perm())
+		}
+	}
+
+	// Keyring loads and verifies signatures from the private keys.
+	f, err := os.Open(filepath.Join(dir, "keyring.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ring, err := auth.LoadKeyring(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() != 2 {
+		t.Fatalf("keyring has %d users", ring.Len())
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "alice.key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := auth.ParseEd25519Signer(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := signer.Sign([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Verify("alice", []byte("hello"), sig); err != nil {
+		t.Errorf("keyring rejects alice's key: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", t.TempDir()); err == nil {
+		t.Error("empty users accepted")
+	}
+	if err := run(" , ,", t.TempDir()); err == nil {
+		t.Error("blank users accepted")
+	}
+	if err := run("a,a", t.TempDir()); err == nil {
+		t.Error("duplicate user accepted")
+	}
+}

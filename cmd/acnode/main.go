@@ -1,0 +1,261 @@
+// Command acnode runs a protocol node over real TCP sockets: a manager
+// holding authoritative ACLs or an application host enforcing access
+// control in front of a demo application.
+//
+// A three-manager deployment with one host on localhost:
+//
+//	acnode -id m0 -listen 127.0.0.1:7000 -role manager -app stocks \
+//	       -peers m0=127.0.0.1:7000,m1=127.0.0.1:7001,m2=127.0.0.1:7002 \
+//	       -c 2 -te 60s -manage root -use alice
+//	acnode -id m1 -listen 127.0.0.1:7001 ... (same flags, own id)
+//	acnode -id m2 -listen 127.0.0.1:7002 ...
+//	acnode -id h0 -listen 127.0.0.1:7100 -role host -app stocks \
+//	       -peers m0=127.0.0.1:7000,m1=127.0.0.1:7001,m2=127.0.0.1:7002 \
+//	       -c 2 -te 60s
+//
+// Then drive it with acctl (grant/revoke/check/invoke).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"wanac/internal/auth"
+	"wanac/internal/core"
+	"wanac/internal/tcpnet"
+	"wanac/internal/trace"
+	"wanac/internal/udpnet"
+	"wanac/internal/wire"
+)
+
+func main() {
+	var (
+		id      = flag.String("id", "", "node id (required)")
+		listen  = flag.String("listen", "127.0.0.1:0", "listen address")
+		role    = flag.String("role", "host", "manager | host")
+		app     = flag.String("app", "app", "application id")
+		peers   = flag.String("peers", "", "comma-separated id=addr manager list (required)")
+		c       = flag.Int("c", 1, "check quorum C")
+		te      = flag.Duration("te", time.Minute, "revocation bound Te")
+		ti      = flag.Duration("ti", 0, "freeze inaccessibility period (0 = quorum strategy)")
+		manage  = flag.String("manage", "", "comma-separated users seeded with the manage right (managers)")
+		use     = flag.String("use", "", "comma-separated users seeded with the use right (managers)")
+		timeout = flag.Duration("timeout", 2*time.Second, "host query timeout")
+		r       = flag.Int("r", 3, "host max attempts R")
+		avail   = flag.Bool("default-allow", false, "host: allow by default after R failed attempts (Figure 4)")
+		state   = flag.String("state", "", "manager: state snapshot file (loaded at boot, saved on shutdown)")
+		trans   = flag.String("transport", "tcp", "tcp | udp (udp matches the paper's unreliable network most literally)")
+		keyring = flag.String("keyring", "", "keyring.json from ackeygen: require sealed, signed user traffic")
+	)
+	flag.Parse()
+	if err := run(*id, *listen, *role, *app, *peers, *c, *te, *ti, *manage, *use, *timeout, *r, *avail, *state, *trans, *keyring); err != nil {
+		fmt.Fprintln(os.Stderr, "acnode:", err)
+		os.Exit(1)
+	}
+}
+
+// transport unifies the TCP and UDP endpoints for acnode's wiring.
+type transport interface {
+	core.Env
+	Addr() string
+	Close() error
+}
+
+func run(id, listen, role, app, peers string, c int, te, ti time.Duration,
+	manage, use string, timeout time.Duration, r int, defaultAllow bool, stateFile, trans, keyringPath string) error {
+	if id == "" || peers == "" {
+		return fmt.Errorf("-id and -peers are required")
+	}
+	var ring *auth.Keyring
+	if keyringPath != "" {
+		f, err := os.Open(keyringPath)
+		if err != nil {
+			return err
+		}
+		ring, err = auth.LoadKeyring(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		log.Printf("%s loaded keyring with %d users: unauthenticated user traffic will be rejected", id, ring.Len())
+	}
+	peerAddrs, order, err := parsePeers(peers)
+	if err != nil {
+		return err
+	}
+
+	var (
+		node       transport
+		setHandler func(h interface {
+			HandleMessage(from wire.NodeID, msg wire.Message)
+		})
+	)
+	switch trans {
+	case "tcp":
+		n, err := tcpnet.Listen(wire.NodeID(id), listen)
+		if err != nil {
+			return err
+		}
+		for pid, addr := range peerAddrs {
+			if pid != wire.NodeID(id) {
+				n.AddPeer(pid, addr)
+			}
+		}
+		node = n
+		setHandler = func(h interface {
+			HandleMessage(from wire.NodeID, msg wire.Message)
+		}) {
+			n.SetHandler(h)
+		}
+	case "udp":
+		n, err := udpnet.Listen(wire.NodeID(id), listen)
+		if err != nil {
+			return err
+		}
+		for pid, addr := range peerAddrs {
+			if pid == wire.NodeID(id) {
+				continue
+			}
+			if err := n.AddPeer(pid, addr); err != nil {
+				return err
+			}
+		}
+		node = n
+		setHandler = func(h interface {
+			HandleMessage(from wire.NodeID, msg wire.Message)
+		}) {
+			n.SetHandler(h)
+		}
+	default:
+		return fmt.Errorf("unknown transport %q", trans)
+	}
+	defer node.Close()
+	log.Printf("%s listening on %s (role=%s app=%s transport=%s)", id, node.Addr(), role, app, trans)
+
+	tracer := logTracer{}
+	var saveState func()
+	switch role {
+	case "manager":
+		mgr := core.NewManager(wire.NodeID(id), node, tracer, ring)
+		if err := mgr.AddApp(wire.AppID(app), core.ManagerAppConfig{
+			Peers:       order,
+			CheckQuorum: c,
+			Te:          te,
+			FreezeTi:    ti,
+		}); err != nil {
+			return err
+		}
+		for _, u := range splitUsers(manage) {
+			mgr.Seed(wire.AppID(app), u, wire.RightManage)
+		}
+		for _, u := range splitUsers(use) {
+			mgr.Seed(wire.AppID(app), u, wire.RightUse)
+		}
+		if stateFile != "" {
+			if f, err := os.Open(stateFile); err == nil {
+				loadErr := mgr.LoadState(f)
+				f.Close()
+				if loadErr != nil {
+					return loadErr
+				}
+				log.Printf("%s restored state from %s", id, stateFile)
+			} else if !os.IsNotExist(err) {
+				return err
+			}
+			saveState = func() {
+				f, err := os.CreateTemp(filepath.Dir(stateFile), ".acnode-state-*")
+				if err != nil {
+					log.Printf("save state: %v", err)
+					return
+				}
+				if err := mgr.SaveState(f); err != nil {
+					log.Printf("save state: %v", err)
+					f.Close()
+					os.Remove(f.Name())
+					return
+				}
+				f.Close()
+				if err := os.Rename(f.Name(), stateFile); err != nil {
+					log.Printf("save state: %v", err)
+					os.Remove(f.Name())
+					return
+				}
+				log.Printf("%s saved state to %s", id, stateFile)
+			}
+		}
+		setHandler(mgr)
+	case "host":
+		host := core.NewHost(wire.NodeID(id), node, tracer, ring)
+		if err := host.RegisterApp(wire.AppID(app), core.HostAppConfig{
+			Managers: order,
+			Policy: core.Policy{
+				CheckQuorum:  c,
+				Te:           te,
+				QueryTimeout: timeout,
+				MaxAttempts:  r,
+				DefaultAllow: defaultAllow,
+			},
+			App: core.ApplicationFunc(func(user wire.UserID, payload []byte) []byte {
+				return []byte(fmt.Sprintf("hello %s, you sent %q at %s",
+					user, payload, time.Now().Format(time.RFC3339)))
+			}),
+		}); err != nil {
+			return err
+		}
+		setHandler(host)
+	default:
+		return fmt.Errorf("unknown role %q", role)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if saveState != nil {
+		saveState()
+	}
+	log.Printf("%s shutting down", id)
+	return nil
+}
+
+func parsePeers(s string) (map[wire.NodeID]string, []wire.NodeID, error) {
+	addrs := make(map[wire.NodeID]string)
+	var order []wire.NodeID
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, nil, fmt.Errorf("bad peer entry %q (want id=addr)", part)
+		}
+		id := wire.NodeID(kv[0])
+		if _, dup := addrs[id]; dup {
+			return nil, nil, fmt.Errorf("duplicate peer id %q", kv[0])
+		}
+		addrs[id] = kv[1]
+		order = append(order, id)
+	}
+	return addrs, order, nil
+}
+
+func splitUsers(s string) []wire.UserID {
+	if s == "" {
+		return nil
+	}
+	var out []wire.UserID
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, wire.UserID(u))
+		}
+	}
+	return out
+}
+
+// logTracer prints protocol events to the process log.
+type logTracer struct{}
+
+func (logTracer) Emit(e trace.Event) { log.Print(e.String()) }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"wanac/internal/wire"
+)
+
+func TestParsePeers(t *testing.T) {
+	addrs, order, err := parsePeers("m0=127.0.0.1:1,m1=127.0.0.1:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "m0" || order[1] != "m1" {
+		t.Errorf("order = %v", order)
+	}
+	if addrs["m1"] != "127.0.0.1:2" {
+		t.Errorf("addrs = %v", addrs)
+	}
+	for _, bad := range []string{"", "m0", "m0=", "=addr", "m0=a,m0=b"} {
+		if _, _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSplitUsers(t *testing.T) {
+	got := splitUsers(" alice, bob ,,carol ")
+	want := []wire.UserID{"alice", "bob", "carol"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %q", i, got[i])
+		}
+	}
+	if splitUsers("") != nil {
+		t.Error("empty input should yield nil")
+	}
+}

@@ -1,0 +1,266 @@
+// Command acsim runs a dynamic wide-area scenario through the simulator:
+// hosts serve a steady stream of user accesses while congestion-driven link
+// flaps partition parts of the network, managers periodically grant and
+// revoke rights, and the tool reports observed availability, revocation
+// latency, and message cost.
+//
+//	acsim -managers 10 -hosts 20 -c 5 -te 60s -d 1h -flap 0.05
+//	acsim -preset availability        (Figure 4 policy)
+//	acsim -preset security            (deny when managers unreachable)
+//	acsim -preset freeze -ti 30s      (§3.3 freeze strategy)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"wanac/internal/core"
+	"wanac/internal/partition"
+	"wanac/internal/sim"
+	"wanac/internal/simnet"
+	"wanac/internal/stats"
+	"wanac/internal/trace"
+	"wanac/internal/wire"
+)
+
+func main() {
+	var (
+		managers    = flag.Int("managers", 5, "number of managers (M)")
+		hosts       = flag.Int("hosts", 10, "number of application hosts")
+		users       = flag.Int("users", 20, "number of authorized users")
+		c           = flag.Int("c", 0, "check quorum C (default M/2)")
+		te          = flag.Duration("te", time.Minute, "revocation bound Te")
+		ti          = flag.Duration("ti", 0, "freeze inaccessibility period Ti (preset freeze)")
+		duration    = flag.Duration("d", time.Hour, "simulated duration")
+		accessEvery = flag.Duration("access", 2*time.Second, "mean time between user accesses")
+		adminEvery  = flag.Duration("admin", 5*time.Minute, "mean time between grant/revoke operations")
+		flap        = flag.Float64("flap", 0.02, "per-tick probability a link goes down")
+		flapFor     = flag.Duration("flapfor", 20*time.Second, "mean link outage duration")
+		preset      = flag.String("preset", "balanced", "policy preset: balanced|security|availability|freeze")
+		seed        = flag.Int64("seed", 1, "random seed")
+		verbose     = flag.Bool("v", false, "print revocation latency histogram")
+	)
+	flag.Parse()
+	if err := run(params{
+		managers: *managers, hosts: *hosts, users: *users, c: *c,
+		te: *te, ti: *ti, duration: *duration,
+		accessEvery: *accessEvery, adminEvery: *adminEvery,
+		flap: *flap, flapFor: *flapFor, preset: *preset, seed: *seed,
+		verbose: *verbose,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "acsim:", err)
+		os.Exit(1)
+	}
+}
+
+type params struct {
+	managers, hosts, users, c int
+	te, ti                    time.Duration
+	duration                  time.Duration
+	accessEvery, adminEvery   time.Duration
+	flap                      float64
+	flapFor                   time.Duration
+	preset                    string
+	seed                      int64
+	verbose                   bool
+}
+
+func run(p params) error {
+	if p.c == 0 {
+		p.c = p.managers / 2
+		if p.c < 1 {
+			p.c = 1
+		}
+	}
+	var policy core.Policy
+	freezeTi := time.Duration(0)
+	switch p.preset {
+	case "balanced":
+		policy = core.Balanced(p.managers, p.te)
+		policy.CheckQuorum = p.c
+	case "security":
+		policy = core.SecurityFirst(p.c, p.te)
+	case "availability":
+		policy = core.AvailabilityFirst(3, p.te)
+	case "freeze":
+		policy = core.SecurityFirst(p.c, p.te)
+		freezeTi = p.ti
+		if freezeTi == 0 {
+			freezeTi = p.te / 4
+		}
+	default:
+		return fmt.Errorf("unknown preset %q", p.preset)
+	}
+	policy.QueryTimeout = 2 * time.Second
+
+	userIDs := make([]wire.UserID, p.users)
+	for i := range userIDs {
+		userIDs[i] = wire.UserID(fmt.Sprintf("user%d", i))
+	}
+
+	w, err := sim.Build(sim.Config{
+		App:      "app",
+		Managers: p.managers,
+		Hosts:    p.hosts,
+		Policy:   policy,
+		Te:       p.te,
+		FreezeTi: freezeTi,
+		Users:    userIDs,
+		Net: simnet.Config{
+			Latency:    simnet.Exponential{Base: 20 * time.Millisecond, Mean: 30 * time.Millisecond, Cap: time.Second},
+			Loss:       0.01,
+			Seed:       p.seed,
+			CountBytes: true,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(p.seed + 17))
+
+	var (
+		allowed, denied, defaulted int
+		revokeLatencies            []time.Duration
+		checkLatencies             []time.Duration
+	)
+
+	// Steady user access load: each tick a random user hits a random host.
+	var accessTick func()
+	accessTick = func() {
+		host := rng.Intn(p.hosts)
+		user := userIDs[rng.Intn(len(userIDs))]
+		start := w.Sched.Now()
+		w.Hosts[host].Check("app", user, wire.RightUse, func(d core.Decision) {
+			checkLatencies = append(checkLatencies, w.Sched.Now().Sub(start))
+			switch {
+			case d.DefaultAllowed:
+				defaulted++
+			case d.Allowed:
+				allowed++
+			default:
+				denied++
+			}
+		})
+		w.Sched.After(jitter(rng, p.accessEvery), accessTick)
+	}
+	w.Sched.After(jitter(rng, p.accessEvery), accessTick)
+
+	// Periodic admin churn: revoke a user, measure how long any host keeps
+	// granting, then re-grant.
+	var adminTick func()
+	adminTick = func() {
+		user := userIDs[rng.Intn(len(userIDs))]
+		mgr := rng.Intn(p.managers)
+		issuedAt := w.Sched.Now()
+		w.Managers[mgr].Submit(wire.AdminOp{
+			Op: wire.OpRevoke, App: "app", User: user, Right: wire.RightUse, Issuer: "admin",
+		}, func(r wire.AdminReply) {
+			if !r.QuorumReached {
+				return
+			}
+			// Probe: how long until every host denies this user?
+			var probe func()
+			probe = func() {
+				anyAllowed := false
+				pendingProbes := p.hosts
+				for i := 0; i < p.hosts; i++ {
+					w.Hosts[i].Check("app", user, wire.RightUse, func(d core.Decision) {
+						if d.Allowed {
+							anyAllowed = true
+						}
+						pendingProbes--
+						if pendingProbes == 0 {
+							if anyAllowed {
+								w.Sched.After(time.Second, probe)
+								return
+							}
+							revokeLatencies = append(revokeLatencies, w.Sched.Now().Sub(issuedAt))
+							// Re-grant so the workload keeps its user pool.
+							w.Managers[mgr].Submit(wire.AdminOp{
+								Op: wire.OpAdd, App: "app", User: user, Right: wire.RightUse, Issuer: "admin",
+							}, nil)
+						}
+					})
+				}
+			}
+			probe()
+		})
+		w.Sched.After(jitter(rng, p.adminEvery), adminTick)
+	}
+	w.Sched.After(jitter(rng, p.adminEvery), adminTick)
+
+	// Congestion model (§2.1): every 5s each host-manager link flaps down
+	// with probability flap for an exponentially distributed outage;
+	// manager-manager links flap at a tenth of the rate.
+	hostIDs := make([]wire.NodeID, p.hosts)
+	for i := range hostIDs {
+		hostIDs[i] = sim.HostID(i)
+	}
+	mgrIDs := make([]wire.NodeID, p.managers)
+	for i := range mgrIDs {
+		mgrIDs[i] = sim.ManagerID(i)
+	}
+	(&partition.FlapModel{
+		Links:      partition.Links(hostIDs, mgrIDs),
+		Tick:       5 * time.Second,
+		DownProb:   p.flap,
+		MeanOutage: p.flapFor,
+		Seed:       p.seed + 31,
+	}).Start(w.Net)
+	(&partition.FlapModel{
+		Links:      partition.Mesh(mgrIDs),
+		Tick:       5 * time.Second,
+		DownProb:   p.flap / 10,
+		MeanOutage: p.flapFor,
+		Seed:       p.seed + 37,
+	}).Start(w.Net)
+
+	w.RunFor(p.duration)
+
+	total := allowed + denied + defaulted
+	if total == 0 {
+		return fmt.Errorf("no accesses completed; increase -d")
+	}
+	st := w.Net.Stats()
+	fmt.Printf("scenario: M=%d C=%d hosts=%d users=%d Te=%v preset=%s simulated=%v\n",
+		p.managers, p.c, p.hosts, p.users, p.te, p.preset, p.duration)
+	fmt.Printf("accesses: %d allowed (%.2f%%), %d default-allowed, %d denied\n",
+		allowed, 100*float64(allowed)/float64(total), defaulted, denied)
+	fmt.Printf("messages: %s\n", st)
+	fmt.Printf("          per kind: query=%d response=%d update=%d revoke-notice=%d heartbeat=%d\n",
+		st.ByKind["query"], st.ByKind["response"], st.ByKind["update"],
+		st.ByKind["revoke-notice"], st.ByKind["heartbeat"])
+	fmt.Printf("          bytes sent: %d total (query=%d response=%d update=%d)\n",
+		st.BytesSent, st.BytesByKind["query"], st.BytesByKind["response"], st.BytesByKind["update"])
+	fmt.Printf("cache:    hits=%d misses(expired)=%d\n",
+		w.Tracer.Count(trace.EventCacheHit), w.Tracer.Count(trace.EventCacheExpired))
+	if len(checkLatencies) > 0 {
+		cl := stats.SummarizeDurations(checkLatencies)
+		fmt.Printf("check latency: p50=%.0fms p95=%.0fms p99=%.0fms max=%.0fms\n",
+			cl.P50*1000, cl.P95*1000, cl.P99*1000, cl.Max*1000)
+	}
+	if len(revokeLatencies) > 0 {
+		sum := stats.SummarizeDurations(revokeLatencies)
+		fmt.Printf("revocation latency (n=%d): mean=%.1fs p95=%.1fs max=%.1fs (bound Te=%v)\n",
+			sum.N, sum.Mean, sum.P95, sum.Max, p.te)
+		if p.verbose {
+			h := stats.NewHistogram(0, p.te.Seconds()*1.5, 15)
+			for _, d := range revokeLatencies {
+				h.Add(d.Seconds())
+			}
+			fmt.Println(h)
+		}
+	}
+	if frozen := w.Tracer.Count(trace.EventFrozen); frozen > 0 {
+		fmt.Printf("freeze:   %d freeze events, %d unfreeze events\n",
+			frozen, w.Tracer.Count(trace.EventUnfrozen))
+	}
+	return nil
+}
+
+func jitter(rng *rand.Rand, mean time.Duration) time.Duration {
+	return time.Duration((0.5 + rng.Float64()) * float64(mean))
+}

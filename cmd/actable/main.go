@@ -1,0 +1,246 @@
+// Command actable regenerates the paper's evaluation artifacts:
+//
+//	actable -table 1              Table 1 (M=10, C=1..10, Pi∈{0.1,0.2})
+//	actable -table 2              Table 2 (M and C varied)
+//	actable -figure 5             Figure 5 curve (CSV + ASCII plot)
+//	actable -hetero               §4.1 heterogeneous weighted analysis demo
+//	actable -table 1 -mc 20000    add Monte Carlo columns from the live
+//	                              protocol simulation (slower)
+//
+// Analytic columns come from internal/quorum; Monte Carlo columns run the
+// real protocol nodes over the simulated network (internal/sim).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wanac/internal/quorum"
+	"wanac/internal/sim"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate paper table 1 or 2")
+		figure = flag.Int("figure", 0, "regenerate paper figure 5")
+		hetero = flag.Bool("hetero", false, "run the heterogeneous-probability analysis")
+		plan   = flag.String("plan", "", "plan (M,C) for targets, e.g. -plan 0.99,0.999,0.1 (PA,PS,Pi)")
+		mc     = flag.Int("mc", 0, "Monte Carlo trials per cell over the live protocol (0 = analytic only)")
+		seed   = flag.Int64("seed", 1, "Monte Carlo seed")
+	)
+	flag.Parse()
+	if err := run(*table, *figure, *hetero, *plan, *mc, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "actable:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, figure int, hetero bool, plan string, mc int, seed int64) error {
+	switch {
+	case table == 1:
+		return printTable1(mc, seed)
+	case table == 2:
+		return printTable2(mc, seed)
+	case figure == 5:
+		return printFigure5(mc, seed)
+	case hetero:
+		return printHetero()
+	case plan != "":
+		return printPlan(plan)
+	default:
+		return fmt.Errorf("nothing selected; use -table 1|2, -figure 5, -hetero, or -plan PA,PS,Pi")
+	}
+}
+
+// printPlan runs the §4.1 deployment planner for "PA,PS,Pi" targets.
+func printPlan(spec string) error {
+	var pa, ps, pi float64
+	if _, err := fmt.Sscanf(spec, "%f,%f,%f", &pa, &ps, &pi); err != nil {
+		return fmt.Errorf("bad -plan %q (want PA,PS,Pi): %v", spec, err)
+	}
+	t := quorum.Targets{Availability: pa, Security: ps, Pi: pi}
+	p, err := quorum.PlanParams(t)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("targets: PA >= %.4f, PS >= %.4f at Pi = %.3f"+"\n", pa, ps, pi)
+	fmt.Printf("plan:    M = %d managers, check quorum C = %d (update quorum %d)"+"\n",
+		p.M, p.C, quorum.UpdateQuorum(p.M, p.C))
+	fmt.Printf("yields:  PA = %.5f, PS = %.5f"+"\n", p.PA, p.PS)
+	region, err := quorum.FeasibleRegion(t, p.M+4)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("feasible C windows by M:")
+	for _, fr := range region {
+		if fr.CLow > fr.CHigh {
+			fmt.Printf("  M=%-3d none (best min(PA,PS) = %.5f)"+"\n", fr.M, fr.BestMinOfTwo)
+			continue
+		}
+		fmt.Printf("  M=%-3d C in [%d, %d]"+"\n", fr.M, fr.CLow, fr.CHigh)
+	}
+	return nil
+}
+
+// cell prints analytic and (optionally) empirical PA/PS values for one
+// (M, C, Pi) configuration.
+func cell(m, c int, pi float64, mc int, seed int64) (string, error) {
+	pa, err := quorum.PA(m, c, pi)
+	if err != nil {
+		return "", err
+	}
+	ps, err := quorum.PS(m, c, pi)
+	if err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("%.5f  %.5f", pa, ps)
+	if mc > 0 {
+		p := sim.TrialParams{M: m, C: c, Pi: pi, Trials: mc, Seed: seed}
+		epa, err := sim.EstimatePA(p)
+		if err != nil {
+			return "", err
+		}
+		p.Seed = seed + 1
+		eps, err := sim.EstimatePS(p)
+		if err != nil {
+			return "", err
+		}
+		out += fmt.Sprintf("  |  %.5f  %.5f", epa.P, eps.P)
+	}
+	return out, nil
+}
+
+func header(mc int) string {
+	h := "PA(C)    PS(C)"
+	if mc > 0 {
+		h += "   |  PA(sim)  PS(sim)"
+	}
+	return h
+}
+
+func printTable1(mc int, seed int64) error {
+	fmt.Println("Table 1: Effects of C on availability and security (M=10)")
+	for _, pi := range []float64{0.1, 0.2} {
+		fmt.Printf("\nPi = %.1f\n  C   %s\n", pi, header(mc))
+		for c := 1; c <= 10; c++ {
+			s, err := cell(10, c, pi, mc, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-3d %s\n", c, s)
+		}
+	}
+	return nil
+}
+
+func printTable2(mc int, seed int64) error {
+	fmt.Println("Table 2: Effects of M and C on availability and security")
+	rows := []struct{ m, c int }{
+		{4, 2}, {6, 2}, {8, 2}, {10, 2}, {12, 2},
+		{4, 2}, {6, 3}, {8, 4}, {10, 5}, {12, 6},
+	}
+	for _, pi := range []float64{0.1, 0.2} {
+		fmt.Printf("\nPi = %.1f\n  M   C   %s\n", pi, header(mc))
+		for i, r := range rows {
+			if i == 5 {
+				fmt.Println("  --- C scaled with M ---")
+			}
+			s, err := cell(r.m, r.c, pi, mc, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-3d %-3d %s\n", r.m, r.c, s)
+		}
+	}
+	return nil
+}
+
+func printFigure5(mc int, seed int64) error {
+	const m = 10
+	const pi = 0.1
+	curve, err := quorum.Curve(m, pi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 5: availability and security curves (M=%d, Pi=%.1f)\n\n", m, pi)
+	fmt.Println("C,PA,PS")
+	for _, p := range curve {
+		fmt.Printf("%d,%.5f,%.5f\n", p.C, p.PA, p.PS)
+	}
+
+	// ASCII rendering: 20 rows of probability, columns are C.
+	fmt.Println("\nprobability (A = PA, S = PS, * = both)")
+	const rows = 20
+	for row := rows; row >= 0; row-- {
+		level := float64(row) / rows
+		line := make([]byte, m)
+		for i, p := range curve {
+			a := p.PA >= level
+			s := p.PS >= level
+			switch {
+			case a && s:
+				line[i] = '*'
+			case a:
+				line[i] = 'A'
+			case s:
+				line[i] = 'S'
+			default:
+				line[i] = ' '
+			}
+		}
+		fmt.Printf("%5.2f |%s|\n", level, string(line))
+	}
+	fmt.Printf("       %s\n        C=1 .. C=%d\n", strings.Repeat("-", m), m)
+
+	if mc > 0 {
+		fmt.Println("\nMonte Carlo (live protocol):")
+		fmt.Println("C,PA_sim,PS_sim")
+		for c := 1; c <= m; c++ {
+			p := sim.TrialParams{M: m, C: c, Pi: pi, Trials: mc, Seed: seed}
+			pa, err := sim.EstimatePA(p)
+			if err != nil {
+				return err
+			}
+			p.Seed = seed + 1
+			ps, err := sim.EstimatePS(p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d,%.5f,%.5f\n", c, pa.P, ps.P)
+		}
+	}
+	return nil
+}
+
+func printHetero() error {
+	fmt.Println("Heterogeneous analysis (§4.1): M=6 managers, manager 0 poorly")
+	fmt.Println("connected to its peers (accessibility 0.5 vs 0.95 elsewhere).")
+	sys := quorum.Uniform(4, 6, 0.05)
+	for b := 1; b < 6; b++ {
+		sys.ManagerAccess[0][b] = 0.5
+		sys.ManagerAccess[b][0] = 0.5
+	}
+	fmt.Println("\nuniform update load:")
+	fmt.Println("  C   avail     sec")
+	for c := 1; c <= 6; c++ {
+		a, s, err := sys.Analyze(c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-3d %.5f  %.5f\n", c, a, s)
+	}
+	fmt.Println("\nmanager 0 issues 90% of updates (the paper's warning case):")
+	sys.ManagerWeight = []float64{0.9, 0.02, 0.02, 0.02, 0.02, 0.02}
+	fmt.Println("  C   avail     sec")
+	for c := 1; c <= 6; c++ {
+		a, s, err := sys.Analyze(c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-3d %.5f  %.5f\n", c, a, s)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Newspaper reproduces the paper's "on-line magazines and newspapers"
+// discussion (§2.3): for such services "availability can be more important
+// than security". The same readership, the same flaky wide-area network,
+// and the same manager-churn trace are run under four configurations —
+// security-first, balanced quorum, availability-first (Figure 4), and the
+// freeze strategy (§3.3) — and the resulting availability and exposure
+// numbers are printed side by side.
+//
+//	go run ./examples/newspaper
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"wanac"
+)
+
+const (
+	app      = wanac.AppID("daily-planet")
+	te       = time.Minute
+	managers = 4
+	hosts    = 5
+	readers  = 15
+)
+
+type outcome struct {
+	name                       string
+	allowed, defaulted, denied int
+	frozenEvents               int
+}
+
+func main() {
+	configs := []struct {
+		name     string
+		policy   wanac.Policy
+		freezeTi time.Duration
+	}{
+		{"security-first (C=3)", wanac.SecurityFirst(3, te), 0},
+		{"balanced (C=2)", wanac.Balanced(managers, te), 0},
+		{"availability-first (R=2)", wanac.AvailabilityFirst(2, te), 0},
+		{"freeze strategy (C=2, Ti=15s)", wanac.Balanced(managers, te), 15 * time.Second},
+	}
+
+	fmt.Printf("the daily planet: %d hosts, %d managers, %d readers, Te=%v\n",
+		hosts, managers, readers, te)
+	fmt.Println("identical 45-minute partition trace per configuration:\n" +
+		"  minute 10-25: host links flap heavily (congestion)\n" +
+		"  minute 25-40: manager m3 isolated from everyone")
+	fmt.Println()
+	fmt.Printf("%-32s %9s %10s %8s %8s\n", "policy", "served", "default", "denied", "frozen")
+
+	for _, cfg := range configs {
+		o := run(cfg.name, cfg.policy, cfg.freezeTi)
+		total := o.allowed + o.defaulted + o.denied
+		fmt.Printf("%-32s %6d/%d %10d %8d %8d\n",
+			o.name, o.allowed+o.defaulted, total, o.defaulted, o.denied, o.frozenEvents)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  security-first refuses readers whenever the check quorum is cut off;")
+	fmt.Println("  availability-first serves everyone but some reads are unverified;")
+	fmt.Println("  the freeze strategy trades the most availability for the tightest")
+	fmt.Println("  revocation story once a manager goes quiet longer than Ti.")
+}
+
+func run(name string, policy wanac.Policy, freezeTi time.Duration) outcome {
+	policy.QueryTimeout = time.Second
+	users := make([]wanac.UserID, readers)
+	for i := range users {
+		users[i] = wanac.UserID(fmt.Sprintf("reader%02d", i))
+	}
+	world, err := wanac.NewSimulation(wanac.SimConfig{
+		App:      app,
+		Managers: managers,
+		Hosts:    hosts,
+		Policy:   policy,
+		Te:       te,
+		FreezeTi: freezeTi,
+		Users:    users,
+		Net:      wanac.NetConfig{Seed: 11},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	o := outcome{name: name}
+
+	// Reader traffic: one page fetch every ~2s somewhere in the system.
+	var tick func()
+	tick = func() {
+		h := rng.Intn(hosts)
+		u := users[rng.Intn(readers)]
+		world.Hosts[h].Check(app, u, wanac.RightUse, func(d wanac.Decision) {
+			switch {
+			case d.DefaultAllowed:
+				o.defaulted++
+			case d.Allowed:
+				o.allowed++
+			default:
+				o.denied++
+			}
+		})
+		world.Sched.After(time.Duration(rng.Intn(3000)+500)*time.Millisecond, tick)
+	}
+	world.Sched.After(time.Second, tick)
+
+	// Scripted partition trace (identical across configurations).
+	world.Sched.After(10*time.Minute, func() {
+		// Congestion: host h keeps contact with exactly h of the managers
+		// (h0 reaches none, h4 reaches all), so each check quorum C draws
+		// the availability line at a different host.
+		for h := 0; h < hosts; h++ {
+			for m := h; m < managers; m++ {
+				world.Net.SetLink(wanac.SimHostID(h), wanac.SimManagerID(m), false)
+			}
+		}
+	})
+	world.Sched.After(25*time.Minute, func() {
+		world.Heal()
+		// Isolate manager 3 entirely.
+		for m := 0; m < managers-1; m++ {
+			world.Net.SetLink(wanac.SimManagerID(3), wanac.SimManagerID(m), false)
+		}
+		for h := 0; h < hosts; h++ {
+			world.Net.SetLink(wanac.SimManagerID(3), wanac.SimHostID(h), false)
+		}
+	})
+	world.Sched.After(40*time.Minute, func() { world.Heal() })
+
+	world.RunFor(45 * time.Minute)
+	o.frozenEvents = countFrozen(world)
+	return o
+}
+
+func countFrozen(world *wanac.Simulation) int {
+	n := 0
+	for _, e := range world.Tracer.Events() {
+		if e.Type.String() == "frozen" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+package wanac
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary end to end (each uses the
+// virtual-time simulator, so runs complete in well under a second of wall
+// time) and sanity-checks a signature line of its output. This keeps the
+// examples compiling AND behaviourally correct as the library evolves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs all examples")
+	}
+	cases := []struct {
+		dir  string
+		want string // fragment that must appear in stdout
+	}{
+		{"quickstart", "during partition (t+Te+1s):  allowed=false"},
+		{"stockquotes", "post-heal check on host 5: allowed=false"},
+		{"corporate", "bound holds"},
+		{"newspaper", "availability-first"},
+		{"mobile", "16:31 still offline (past Te)"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+c.dir)
+			cmd.Dir = moduleRoot(t)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("example %s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := wd; ; dir = filepath.Dir(dir) {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		if dir == filepath.Dir(dir) {
+			t.Fatal("go.mod not found")
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module wanac
+
+go 1.24

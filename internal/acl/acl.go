@@ -1,0 +1,456 @@
+// Package acl implements the access-control-list data structures of the
+// system: the authoritative Store kept by managers (the full access control
+// list per application, §2.2) and the expiring Cache kept by application
+// hosts (ACL_cache(A), §3.1-3.2).
+package acl
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"wanac/internal/wire"
+)
+
+// RightSet is a bitmask of rights held by a user on an application.
+type RightSet uint8
+
+// Bit positions derive from the wire.Right values.
+func bit(r wire.Right) RightSet { return 1 << (uint8(r) - 1) }
+
+// Has reports whether the set contains r.
+func (s RightSet) Has(r wire.Right) bool { return r.Valid() && s&bit(r) != 0 }
+
+// With returns the set extended with r.
+func (s RightSet) With(r wire.Right) RightSet {
+	if !r.Valid() {
+		return s
+	}
+	return s | bit(r)
+}
+
+// Without returns the set with r removed.
+func (s RightSet) Without(r wire.Right) RightSet {
+	if !r.Valid() {
+		return s
+	}
+	return s &^ bit(r)
+}
+
+// Empty reports whether no rights remain.
+func (s RightSet) Empty() bool { return s == 0 }
+
+// Rights lists the contained rights in declaration order.
+func (s RightSet) Rights() []wire.Right {
+	out := make([]wire.Right, 0, 2)
+	for _, r := range []wire.Right{wire.RightUse, wire.RightManage} {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Store is the authoritative access control list maintained by a manager:
+// for each application, the users allowed to access it and the users allowed
+// to manage it (§2.2). Store is safe for concurrent use because the live
+// runtime serves queries from multiple goroutines.
+type Store struct {
+	mu   sync.RWMutex
+	apps map[wire.AppID]map[wire.UserID]RightSet
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{apps: make(map[wire.AppID]map[wire.UserID]RightSet)}
+}
+
+// Grant adds right r on app for user. It reports whether the store changed.
+func (s *Store) Grant(app wire.AppID, user wire.UserID, r wire.Right) bool {
+	if !r.Valid() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	users := s.apps[app]
+	if users == nil {
+		users = make(map[wire.UserID]RightSet)
+		s.apps[app] = users
+	}
+	old := users[user]
+	updated := old.With(r)
+	if updated == old {
+		return false
+	}
+	users[user] = updated
+	return true
+}
+
+// Revoke removes right r on app for user. Removing a non-existent right is
+// a no-op (§3.1: "an attempt to remove a non-existent access right ... is
+// equivalent to a no-op"). It reports whether the store changed.
+func (s *Store) Revoke(app wire.AppID, user wire.UserID, r wire.Right) bool {
+	if !r.Valid() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	users := s.apps[app]
+	old, ok := users[user]
+	if !ok {
+		return false
+	}
+	updated := old.Without(r)
+	if updated == old {
+		return false
+	}
+	if updated.Empty() {
+		delete(users, user)
+		if len(users) == 0 {
+			delete(s.apps, app)
+		}
+	} else {
+		users[user] = updated
+	}
+	return true
+}
+
+// Has reports whether user holds right r on app.
+func (s *Store) Has(app wire.AppID, user wire.UserID, r wire.Right) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.apps[app][user].Has(r)
+}
+
+// Rights returns the rights user holds on app.
+func (s *Store) Rights(app wire.AppID, user wire.UserID) RightSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.apps[app][user]
+}
+
+// Users returns the users holding right r on app, sorted for determinism.
+func (s *Store) Users(app wire.AppID, r wire.Right) []wire.UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []wire.UserID
+	for u, rs := range s.apps[app] {
+		if rs.Has(r) {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Entries returns every (app,user,right) grant, sorted, for state sync and
+// snapshots. If app is non-empty only that application's entries are
+// returned.
+func (s *Store) Entries(app wire.AppID) []wire.ACLEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []wire.ACLEntry
+	appendApp := func(a wire.AppID, users map[wire.UserID]RightSet) {
+		for u, rs := range users {
+			for _, r := range rs.Rights() {
+				out = append(out, wire.ACLEntry{App: a, User: u, Right: r})
+			}
+		}
+	}
+	if app != "" {
+		appendApp(app, s.apps[app])
+	} else {
+		for a, users := range s.apps {
+			appendApp(a, users)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].App != out[j].App {
+			return out[i].App < out[j].App
+		}
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}
+
+// Replace overwrites the store contents with the given entries (manager
+// recovery sync, §3.4).
+func (s *Store) Replace(entries []wire.ACLEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apps = make(map[wire.AppID]map[wire.UserID]RightSet, len(entries))
+	for _, e := range entries {
+		if !e.Right.Valid() {
+			continue
+		}
+		users := s.apps[e.App]
+		if users == nil {
+			users = make(map[wire.UserID]RightSet)
+			s.apps[e.App] = users
+		}
+		users[e.User] = users[e.User].With(e.Right)
+	}
+}
+
+// Len returns the total number of (app,user) pairs with at least one right.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, users := range s.apps {
+		n += len(users)
+	}
+	return n
+}
+
+// cacheKey identifies a cached grant.
+type cacheKey struct {
+	app   wire.AppID
+	user  wire.UserID
+	right wire.Right
+}
+
+// Entry is a cached access right with its expiration limit (§3.2: "function
+// lookup(ACL_cache(A),U) returns ... a tuple (U,limit), where limit is the
+// expiration timestamp"). A zero Limit means the entry never expires (basic
+// protocol, Figure 2).
+type Entry struct {
+	App   wire.AppID
+	User  wire.UserID
+	Right wire.Right
+	Limit time.Time
+}
+
+// Expired reports whether the entry is past its limit at local time now.
+func (e Entry) Expired(now time.Time) bool {
+	return !e.Limit.IsZero() && !now.Before(e.Limit)
+}
+
+// Cache is an application host's ACL_cache: the subset of access rights the
+// host has learned from managers, each with an expiration timestamp. It is
+// safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]Entry
+	// granters remembers which managers vouched for an entry; used by the
+	// check-quorum protocol to count distinct confirmations and by tests.
+	granters map[cacheKey]map[wire.NodeID]struct{}
+	// maxEntries bounds memory (§3.2 motivates eviction "to save memory and
+	// processing overhead"); 0 means unbounded. When full, the entry with
+	// the earliest expiration is evicted — it is the least valuable, since
+	// it must be re-verified soonest anyway.
+	maxEntries int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries:  make(map[cacheKey]Entry),
+		granters: make(map[cacheKey]map[wire.NodeID]struct{}),
+	}
+}
+
+// SetMaxEntries bounds the number of cached entries (0 = unbounded). If
+// the cache is already over the new bound, oldest-expiring entries are
+// evicted immediately.
+func (c *Cache) SetMaxEntries(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxEntries = n
+	c.evictLocked()
+}
+
+// Put stores a grant with the given expiration limit (zero = no expiry),
+// recording the granting manager. Re-putting extends/overwrites the limit.
+func (c *Cache) Put(app wire.AppID, user wire.UserID, r wire.Right, limit time.Time, granter wire.NodeID) {
+	k := cacheKey{app, user, r}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[k] = Entry{App: app, User: user, Right: r, Limit: limit}
+	g := c.granters[k]
+	if g == nil {
+		g = make(map[wire.NodeID]struct{}, 1)
+		c.granters[k] = g
+	}
+	g[granter] = struct{}{}
+	c.evictLocked()
+}
+
+// evictLocked enforces maxEntries by dropping earliest-expiring entries
+// (never-expiring entries are treated as latest, breaking ties by key for
+// determinism). Cache sizes are modest, so the linear scan per eviction is
+// acceptable; hosts with heavy churn should also run a purge loop.
+func (c *Cache) evictLocked() {
+	if c.maxEntries <= 0 {
+		return
+	}
+	for len(c.entries) > c.maxEntries {
+		var victim cacheKey
+		var victimEntry Entry
+		first := true
+		for k, e := range c.entries {
+			if first || evictBefore(e, k, victimEntry, victim) {
+				victim, victimEntry, first = k, e, false
+			}
+		}
+		delete(c.entries, victim)
+		delete(c.granters, victim)
+	}
+}
+
+// evictBefore orders eviction candidates: earlier limit first (zero limit
+// last), then lexical key order for determinism.
+func evictBefore(a Entry, ak cacheKey, b Entry, bk cacheKey) bool {
+	switch {
+	case a.Limit.IsZero() && b.Limit.IsZero():
+		// fall through to key comparison
+	case a.Limit.IsZero():
+		return false
+	case b.Limit.IsZero():
+		return true
+	case !a.Limit.Equal(b.Limit):
+		return a.Limit.Before(b.Limit)
+	}
+	if ak.app != bk.app {
+		return ak.app < bk.app
+	}
+	if ak.user != bk.user {
+		return ak.user < bk.user
+	}
+	return ak.right < bk.right
+}
+
+// LookupStatus is the outcome of a cache lookup.
+type LookupStatus uint8
+
+// Lookup outcomes.
+const (
+	// Miss: no entry was cached.
+	Miss LookupStatus = iota + 1
+	// Hit: a fresh entry was found.
+	Hit
+	// Expired: an entry was found but had passed its limit; it has been
+	// removed (Figure 3's "else ACL_cache(A) -= U").
+	Expired
+)
+
+// Lookup returns the entry for (app,user,r) if present and not expired at
+// now. Expired entries are removed as a side effect, mirroring Figure 3's
+// "else ACL_cache(A) -= U".
+func (c *Cache) Lookup(app wire.AppID, user wire.UserID, r wire.Right, now time.Time) (Entry, bool) {
+	e, st := c.LookupStatus(app, user, r, now)
+	return e, st == Hit
+}
+
+// LookupStatus is Lookup with a three-way outcome, letting callers
+// distinguish a cold miss from an expiration (the protocol traces these
+// differently).
+func (c *Cache) LookupStatus(app wire.AppID, user wire.UserID, r wire.Right, now time.Time) (Entry, LookupStatus) {
+	k := cacheKey{app, user, r}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return Entry{}, Miss
+	}
+	if e.Expired(now) {
+		delete(c.entries, k)
+		delete(c.granters, k)
+		return Entry{}, Expired
+	}
+	return e, Hit
+}
+
+// Granters returns how many distinct managers currently vouch for the entry.
+func (c *Cache) Granters(app wire.AppID, user wire.UserID, r wire.Right) int {
+	k := cacheKey{app, user, r}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.granters[k])
+}
+
+// Remove deletes the entry for (app,user,r); removing an absent entry is a
+// no-op (§3.1). It reports whether an entry was present.
+func (c *Cache) Remove(app wire.AppID, user wire.UserID, r wire.Right) bool {
+	k := cacheKey{app, user, r}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[k]
+	delete(c.entries, k)
+	delete(c.granters, k)
+	return ok
+}
+
+// RemoveUser flushes every cached right of user on app (Figure 2's
+// "ACL_cache(A) -= U" removes the user's entry wholesale).
+func (c *Cache) RemoveUser(app wire.AppID, user wire.UserID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k := range c.entries {
+		if k.app == app && k.user == user {
+			delete(c.entries, k)
+			delete(c.granters, k)
+			n++
+		}
+	}
+	return n
+}
+
+// PurgeExpired removes all entries expired at now and returns how many were
+// dropped. The paper suggests a periodic check "to eliminate entries of
+// users who have not accessed the application recently, which can save
+// memory and processing overhead" (§3.2).
+func (c *Cache) PurgeExpired(now time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, e := range c.entries {
+		if e.Expired(now) {
+			delete(c.entries, k)
+			delete(c.granters, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Clear empties the cache (host recovery, §3.4: "ACL_cache(A) can simply be
+// initialized to null").
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[cacheKey]Entry)
+	c.granters = make(map[cacheKey]map[wire.NodeID]struct{})
+}
+
+// Len returns the number of cached entries (including ones that have
+// expired but not yet been looked up or purged).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Snapshot returns all entries sorted, for debugging and tests.
+func (c *Cache) Snapshot() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].App != out[j].App {
+			return out[i].App < out[j].App
+		}
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}

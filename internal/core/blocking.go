@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"wanac/internal/wire"
+)
+
+// This file provides the blocking invocation semantics of §2.3 ("we retain
+// the same blocking invocation semantics, so that an operation is
+// guaranteed to have taken effect throughout the system when the call
+// returns... it would be useful in some cases to have non-blocking versions
+// that return immediately") as context-aware wrappers over the
+// callback-based primitives, plus the periodic cache purge of §3.2.
+//
+// The blocking wrappers require an environment whose timers advance on
+// their own (the live TCP transport or any real-clock Env). Under the
+// virtual-time simulator use the World's *Sync helpers instead, which step
+// the event loop.
+
+// ErrCanceled reports that a blocking call's context ended before the
+// protocol produced an outcome. The underlying protocol exchange continues
+// in the background; a later retry may hit its cached result.
+var ErrCanceled = errors.New("core: blocking call canceled")
+
+// CheckWait performs an access check and blocks until the decision is
+// available or ctx is done.
+func (h *Host) CheckWait(ctx context.Context, app wire.AppID, user wire.UserID, right wire.Right) (Decision, error) {
+	ch := make(chan Decision, 1)
+	h.Check(app, user, right, func(d Decision) { ch <- d })
+	select {
+	case d := <-ch:
+		return d, nil
+	case <-ctx.Done():
+		return Decision{}, errors.Join(ErrCanceled, ctx.Err())
+	}
+}
+
+// SubmitWait issues an access-control operation and blocks until the update
+// quorum is reached (the paper's blocking Add/Revoke semantics: the Te
+// guarantee is active when the call returns) or ctx is done.
+func (m *Manager) SubmitWait(ctx context.Context, op wire.AdminOp) (wire.AdminReply, error) {
+	ch := make(chan wire.AdminReply, 1)
+	m.Submit(op, func(r wire.AdminReply) { ch <- r })
+	select {
+	case r := <-ch:
+		if r.Err != "" {
+			return r, errors.New(r.Err)
+		}
+		return r, nil
+	case <-ctx.Done():
+		return wire.AdminReply{}, errors.Join(ErrCanceled, ctx.Err())
+	}
+}
+
+// StartPurgeLoop periodically drops expired cache entries (§3.2: "a
+// periodic check of ACL_cache can also be used to eliminate entries of
+// users who have not accessed the application recently, which can save
+// memory and processing overhead"). Stop the loop by calling the returned
+// handle's Stop (stopping prevents the next tick; an in-flight purge is
+// unaffected).
+func (h *Host) StartPurgeLoop(every time.Duration) TimerHandle {
+	if every <= 0 {
+		every = time.Minute
+	}
+	loop := &purgeLoop{host: h, every: every}
+	h.mu.Lock()
+	loop.arm()
+	h.mu.Unlock()
+	return loop
+}
+
+type purgeLoop struct {
+	host    *Host
+	every   time.Duration
+	stopped bool
+	cur     TimerHandle
+}
+
+func (p *purgeLoop) arm() {
+	p.cur = p.host.env.SetTimer(p.every, func() {
+		p.host.mu.Lock()
+		stopped := p.stopped
+		p.host.mu.Unlock()
+		if stopped {
+			return
+		}
+		p.host.PurgeExpired()
+		p.host.mu.Lock()
+		if !p.stopped {
+			p.arm()
+		}
+		p.host.mu.Unlock()
+	})
+}
+
+// Stop implements TimerHandle.
+func (p *purgeLoop) Stop() bool {
+	p.host.mu.Lock()
+	defer p.host.mu.Unlock()
+	if p.stopped {
+		return false
+	}
+	p.stopped = true
+	if p.cur != nil {
+		p.cur.Stop()
+	}
+	return true
+}

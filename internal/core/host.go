@@ -1,0 +1,637 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"wanac/internal/acl"
+	"wanac/internal/auth"
+	"wanac/internal/trace"
+	"wanac/internal/wire"
+)
+
+// Host is the application-host side of the protocol: the Access Control and
+// Access Control Management components of Figure 1. It maintains
+// ACL_cache(A) for each registered application, answers Invoke traffic by
+// checking (and if necessary fetching) access rights, applies forwarded
+// revocations, and implements the basic (Figure 2), extended (Figure 3),
+// high-availability (Figure 4), and check-quorum (§3.3) variants according
+// to each application's Policy.
+//
+// All exported methods are safe for concurrent use; message and timer
+// callbacks are serialized internally. Decision callbacks run outside the
+// host lock, so they may call back into the host.
+type Host struct {
+	id      wire.NodeID
+	env     Env
+	tracer  trace.Tracer
+	keyring *auth.Keyring // nil: trust claimed identities (simulation)
+
+	mu    sync.Mutex
+	apps  map[wire.AppID]*hostApp
+	cache *acl.Cache
+	nonce uint64
+	// pending indexes in-flight checks by the nonce of their current query
+	// round; byKey coalesces concurrent checks for the same right.
+	pending map[uint64]*check
+	byKey   map[checkKey]*check
+	// fires collects callbacks to invoke after the lock is released.
+	fires []func()
+	stats HostStats
+}
+
+type hostApp struct {
+	policy      Policy
+	nameService wire.NodeID
+	app         Application
+
+	managers       []wire.NodeID
+	managersExpire time.Time // zero: static set, never expires
+	// rr rotates the starting manager of first-round queries so load
+	// spreads across Managers(A).
+	rr           int
+	resolving    bool
+	resolveNonce uint64
+	resolveTimer TimerHandle
+	waiting      []*check
+}
+
+type checkKey struct {
+	app   wire.AppID
+	user  wire.UserID
+	right wire.Right
+}
+
+type check struct {
+	key       checkKey
+	nonce     uint64
+	attempts  int
+	queried   int // managers queried in the current round
+	grantedBy map[wire.NodeID]struct{}
+	denials   int
+	frozen    bool
+	sentAt    time.Time
+	minExpire time.Duration
+	timer     TimerHandle
+	callbacks []func(Decision)
+}
+
+// NewHost creates a host node. keyring may be nil, in which case claimed
+// user identities in Invoke messages are trusted (appropriate inside the
+// simulator, where authentication is assumed per §2.1).
+func NewHost(id wire.NodeID, env Env, tracer trace.Tracer, keyring *auth.Keyring) *Host {
+	if tracer == nil {
+		tracer = trace.Nop{}
+	}
+	return &Host{
+		id:      id,
+		env:     env,
+		tracer:  tracer,
+		keyring: keyring,
+		apps:    make(map[wire.AppID]*hostApp),
+		cache:   acl.NewCache(),
+		pending: make(map[uint64]*check),
+		byKey:   make(map[checkKey]*check),
+	}
+}
+
+// ID returns the host's node id.
+func (h *Host) ID() wire.NodeID { return h.id }
+
+// RegisterApp configures access control for app on this host. It must be
+// called before traffic for the app arrives.
+func (h *Host) RegisterApp(app wire.AppID, cfg HostAppConfig) error {
+	cfg.Policy = cfg.Policy.withDefaults()
+	m := len(cfg.Managers)
+	if m == 0 && cfg.NameService == "" {
+		return fmt.Errorf("%w: app %s has neither managers nor a name service", ErrConfig, app)
+	}
+	if m > 0 {
+		if err := cfg.Policy.validate(m); err != nil {
+			return fmt.Errorf("app %s: %w", app, err)
+		}
+	} else if cfg.Policy.CheckQuorum < 1 {
+		return fmt.Errorf("%w: app %s: check quorum %d", ErrConfig, app, cfg.Policy.CheckQuorum)
+	}
+	managers := make([]wire.NodeID, m)
+	copy(managers, cfg.Managers)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.apps[app]; ok {
+		return fmt.Errorf("%w: app %s already registered", ErrConfig, app)
+	}
+	h.apps[app] = &hostApp{
+		policy:      cfg.Policy,
+		nameService: cfg.NameService,
+		app:         cfg.App,
+		managers:    managers,
+	}
+	return nil
+}
+
+// Check asynchronously decides whether user holds right on app, invoking cb
+// exactly once with the outcome. Concurrent checks for the same
+// (app, user, right) are coalesced into one protocol exchange.
+func (h *Host) Check(app wire.AppID, user wire.UserID, right wire.Right, cb func(Decision)) {
+	h.withLock(func() { h.checkLocked(app, user, right, cb) })
+}
+
+// withLock runs fn under the host lock, then fires any callbacks queued by
+// fn after releasing it.
+func (h *Host) withLock(fn func()) {
+	h.mu.Lock()
+	fn()
+	fires := h.fires
+	h.fires = nil
+	h.mu.Unlock()
+	for _, f := range fires {
+		f()
+	}
+}
+
+func (h *Host) fire(cb func(Decision), d Decision) {
+	h.fires = append(h.fires, func() { cb(d) })
+}
+
+func (h *Host) checkLocked(app wire.AppID, user wire.UserID, right wire.Right, cb func(Decision)) {
+	a, ok := h.apps[app]
+	if !ok || !right.Valid() {
+		h.recordDecision(Decision{})
+		h.fire(cb, Decision{})
+		return
+	}
+	now := h.env.Now()
+	if entry, st := h.cache.LookupStatus(app, user, right, now); st == acl.Hit {
+		h.emit(trace.EventCacheHit, app, user, "")
+		h.emit(trace.EventAccessAllowed, app, user, "cached")
+		h.recordDecision(Decision{Allowed: true, CacheHit: true})
+		h.fire(cb, Decision{Allowed: true, CacheHit: true})
+		// Refresh-ahead: if the entry is close to expiring, re-verify in the
+		// background so the next post-expiry access does not pay a manager
+		// round trip. The refresh is an ordinary check (coalesced via byKey)
+		// whose grant, if any, replaces the entry with a fresh limit; a
+		// revoked right simply fails to refresh, so the Te bound holds.
+		if ra := a.policy.RefreshAhead; ra > 0 && !entry.Limit.IsZero() &&
+			entry.Limit.Sub(now) <= ra {
+			key := checkKey{app, user, right}
+			if _, inflight := h.byKey[key]; !inflight && h.managersUsable(a, now) {
+				c := &check{key: key}
+				h.byKey[key] = c
+				h.startRound(a, c)
+			}
+		}
+		return
+	} else if st == acl.Expired {
+		h.emit(trace.EventCacheExpired, app, user, "")
+	}
+
+	key := checkKey{app, user, right}
+	if c, ok := h.byKey[key]; ok {
+		c.callbacks = append(c.callbacks, cb)
+		return
+	}
+	c := &check{key: key, callbacks: []func(Decision){cb}}
+	h.byKey[key] = c
+
+	if h.managersUsable(a, now) {
+		h.startRound(a, c)
+		return
+	}
+	a.waiting = append(a.waiting, c)
+	h.resolveManagers(a, app)
+}
+
+func isManager(managers []wire.NodeID, id wire.NodeID) bool {
+	for _, m := range managers {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *Host) managersUsable(a *hostApp, now time.Time) bool {
+	if len(a.managers) == 0 {
+		return false
+	}
+	if a.managersExpire.IsZero() {
+		return true
+	}
+	return now.Before(a.managersExpire)
+}
+
+// startRound begins one query round (Figure 2's loop body, generalized to
+// quorum C). The first round queries a rotating window of C managers —
+// checking "involves communication with at least C managers", giving the
+// O(C/Te) overhead and O(C) delay of §4.1 — and later rounds widen to the
+// full manager set. The round succeeds once C distinct grants arrive before
+// the timeout.
+func (h *Host) startRound(a *hostApp, c *check) {
+	h.nonce++
+	c.nonce = h.nonce
+	c.attempts++
+	c.grantedBy = make(map[wire.NodeID]struct{}, a.policy.CheckQuorum)
+	c.denials = 0
+	c.sentAt = h.env.Now()
+	c.minExpire = 0
+	h.pending[c.nonce] = c
+
+	m := len(a.managers)
+	count := m
+	start := 0
+	if c.attempts == 1 && a.policy.CheckQuorum < m {
+		count = a.policy.CheckQuorum
+		start = a.rr % m
+		a.rr += count
+	}
+	c.queried = count
+
+	q := wire.Query{App: c.key.app, User: c.key.user, Right: c.key.right, Nonce: c.nonce}
+	for i := 0; i < count; i++ {
+		h.env.Send(a.managers[(start+i)%m], q)
+	}
+	h.emit(trace.EventQuerySent, c.key.app, c.key.user,
+		"round="+strconv.Itoa(c.attempts)+" managers="+strconv.Itoa(count))
+
+	nonce := c.nonce
+	c.timer = h.env.SetTimer(a.policy.QueryTimeout, func() {
+		h.withLock(func() { h.onQueryTimeout(nonce) })
+	})
+}
+
+func (h *Host) onQueryTimeout(nonce uint64) {
+	c, ok := h.pending[nonce]
+	if !ok || c.nonce != nonce {
+		return
+	}
+	delete(h.pending, nonce)
+	a, ok := h.apps[c.key.app]
+	if !ok {
+		h.finish(c, Decision{})
+		return
+	}
+	h.emit(trace.EventQueryTimeout, c.key.app, c.key.user, "round="+strconv.Itoa(c.attempts))
+	h.retryOrGiveUp(a, c)
+}
+
+// retryOrGiveUp either starts another round or applies the R-attempt policy
+// (deny, or Figure 4's default allow).
+func (h *Host) retryOrGiveUp(a *hostApp, c *check) {
+	if a.policy.MaxAttempts > 0 && c.attempts >= a.policy.MaxAttempts {
+		if a.policy.DefaultAllow {
+			h.emit(trace.EventAccessDefault, c.key.app, c.key.user,
+				"attempts="+strconv.Itoa(c.attempts))
+			h.finish(c, Decision{
+				Allowed: true, DefaultAllowed: true,
+				Attempts: c.attempts, Frozen: c.frozen,
+			})
+			return
+		}
+		h.emit(trace.EventAccessDenied, c.key.app, c.key.user, "unreachable")
+		h.finish(c, Decision{Attempts: c.attempts, Frozen: c.frozen})
+		return
+	}
+	h.startRound(a, c)
+}
+
+// finish resolves a check and queues its callbacks.
+func (h *Host) finish(c *check, d Decision) {
+	h.recordDecision(d)
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	delete(h.pending, c.nonce)
+	delete(h.byKey, c.key)
+	for _, cb := range c.callbacks {
+		h.fire(cb, d)
+	}
+	c.callbacks = nil
+}
+
+// HandleMessage implements the network handler: the "when ... from network"
+// clauses of Figures 2 and 3 plus name-service and sealed-traffic handling.
+func (h *Host) HandleMessage(from wire.NodeID, msg wire.Message) {
+	h.withLock(func() {
+		switch m := msg.(type) {
+		case wire.Response:
+			h.onResponse(from, m)
+		case wire.RevokeNotice:
+			h.onRevokeNotice(from, m)
+		case wire.Invoke:
+			if h.keyring != nil {
+				// Authenticated deployments accept only sealed traffic.
+				h.replyInvoke(from, m, Decision{})
+				return
+			}
+			h.onInvoke(from, m)
+		case wire.Sealed:
+			h.onSealed(from, m)
+		case wire.ResolveResponse:
+			h.onResolveResponse(from, m)
+		}
+	})
+}
+
+func (h *Host) onResponse(from wire.NodeID, m wire.Response) {
+	c, ok := h.pending[m.Nonce]
+	if !ok {
+		// Stale: the round timed out before this response arrived; §3.2
+		// requires discarding such responses so the expiration timestamp
+		// stays conservative.
+		return
+	}
+	if c.key.app != m.App || c.key.user != m.User || c.key.right != m.Right {
+		return
+	}
+	a, ok := h.apps[c.key.app]
+	if !ok {
+		return
+	}
+	// Only current members of Managers(A) may influence a decision; a
+	// response from anyone else (a confused host, a spoofed node id) is
+	// discarded. With authentication enabled the transport already binds
+	// sender identities, making this check authoritative.
+	if !isManager(a.managers, from) {
+		return
+	}
+	switch {
+	case m.Frozen:
+		c.frozen = true
+	case m.Granted:
+		if _, dup := c.grantedBy[from]; dup {
+			return
+		}
+		c.grantedBy[from] = struct{}{}
+		if c.minExpire == 0 || (m.Expire > 0 && m.Expire < c.minExpire) {
+			c.minExpire = m.Expire
+		}
+		if len(c.grantedBy) >= a.policy.CheckQuorum {
+			h.grant(c)
+		}
+	default:
+		c.denials++
+		// Once C grants are arithmetically impossible in this round, either
+		// widen to the full manager set (a denial from one manager does not
+		// mean the right is revoked everywhere — quorum intersection only
+		// bites when no C managers grant) or, if the full set already
+		// denied, finish.
+		if c.denials > c.queried-a.policy.CheckQuorum {
+			if c.queried < len(a.managers) {
+				if c.timer != nil {
+					c.timer.Stop()
+				}
+				delete(h.pending, c.nonce)
+				h.startRound(a, c)
+				return
+			}
+			// Explicit denial by the managers: drop any cached grant now
+			// rather than waiting out its expiry (matters for refresh-ahead
+			// checks, where a valid entry is still cached).
+			h.cache.Remove(c.key.app, c.key.user, c.key.right)
+			h.emit(trace.EventAccessDenied, c.key.app, c.key.user, "revoked")
+			h.finish(c, Decision{Attempts: c.attempts, Frozen: c.frozen})
+		}
+	}
+}
+
+// grant caches the confirmed right and resolves the check. The expiration
+// limit is sentAt + te, which equals now + te - δ for δ = now - sentAt, the
+// conservative transmission-delay adjustment of §3.2.
+func (h *Host) grant(c *check) {
+	var limit time.Time
+	if c.minExpire > 0 {
+		limit = c.sentAt.Add(c.minExpire)
+	}
+	for m := range c.grantedBy {
+		h.cache.Put(c.key.app, c.key.user, c.key.right, limit, m)
+	}
+	h.emit(trace.EventGrantCached, c.key.app, c.key.user,
+		"confirmations="+strconv.Itoa(len(c.grantedBy)))
+	h.emit(trace.EventAccessAllowed, c.key.app, c.key.user, "quorum")
+	h.finish(c, Decision{
+		Allowed:       true,
+		Confirmations: len(c.grantedBy),
+		Attempts:      c.attempts,
+		Frozen:        c.frozen,
+	})
+}
+
+func (h *Host) onRevokeNotice(from wire.NodeID, m wire.RevokeNotice) {
+	// Only managers of the application may flush cache entries; otherwise
+	// any node could deny service by spraying RevokeNotices.
+	a, ok := h.apps[m.App]
+	if !ok || !isManager(a.managers, from) {
+		return
+	}
+	removed := h.cache.Remove(m.App, m.User, m.Right)
+	if removed {
+		h.stats.RevokeNotices++
+		h.emit(trace.EventRevokeApplied, m.App, m.User, "")
+	}
+	// Ack regardless: the manager needs to stop retransmitting even if the
+	// entry was already gone (§3.1: removal of a non-existent right is a
+	// no-op).
+	h.env.Send(from, wire.RevokeAck{App: m.App, User: m.User, Seq: m.Seq})
+}
+
+func (h *Host) onInvoke(from wire.NodeID, m wire.Invoke) {
+	h.checkLocked(m.App, m.User, wire.RightUse, func(d Decision) {
+		h.serveInvoke(from, m, d)
+	})
+}
+
+func (h *Host) onSealed(from wire.NodeID, m wire.Sealed) {
+	if h.keyring == nil {
+		return // cannot verify: drop
+	}
+	inner, err := auth.VerifyClaim(h.keyring, m)
+	if err != nil {
+		return // forged or unknown: drop silently
+	}
+	if inv, ok := inner.(wire.Invoke); ok {
+		h.onInvoke(from, inv)
+	}
+}
+
+// serveInvoke runs outside the lock (it is registered as a check callback),
+// so it may call the wrapped application directly.
+func (h *Host) serveInvoke(from wire.NodeID, m wire.Invoke, d Decision) {
+	if !d.Allowed {
+		h.env.Send(from, wire.InvokeReply{App: m.App, ReqID: m.ReqID})
+		return
+	}
+	var out []byte
+	h.mu.Lock()
+	a := h.apps[m.App]
+	var app Application
+	if a != nil {
+		app = a.app
+	}
+	h.mu.Unlock()
+	if app != nil {
+		out = app.Serve(m.User, m.Payload)
+	}
+	h.env.Send(from, wire.InvokeReply{App: m.App, ReqID: m.ReqID, Allowed: true, Output: out})
+}
+
+func (h *Host) replyInvoke(from wire.NodeID, m wire.Invoke, d Decision) {
+	h.fires = append(h.fires, func() {
+		h.env.Send(from, wire.InvokeReply{App: m.App, ReqID: m.ReqID, Allowed: d.Allowed})
+	})
+}
+
+// resolveManagers queries the trusted name service for Managers(A) (§3.2).
+// Waiting checks accumulate resolve timeouts as attempts so that bounded
+// policies still terminate when the name service is unreachable.
+func (h *Host) resolveManagers(a *hostApp, app wire.AppID) {
+	if a.resolving || a.nameService == "" {
+		if a.nameService == "" {
+			// No managers and no name service: deny all waiting checks.
+			for _, c := range a.waiting {
+				h.finish(c, Decision{})
+			}
+			a.waiting = nil
+		}
+		return
+	}
+	a.resolving = true
+	h.nonce++
+	a.resolveNonce = h.nonce
+	h.env.Send(a.nameService, wire.ResolveRequest{App: app, Nonce: a.resolveNonce})
+	a.resolveTimer = h.env.SetTimer(a.policy.QueryTimeout, func() {
+		h.withLock(func() { h.onResolveTimeout(a, app) })
+	})
+}
+
+func (h *Host) onResolveTimeout(a *hostApp, app wire.AppID) {
+	if !a.resolving {
+		return
+	}
+	a.resolving = false
+	// Count the failed resolution as an attempt for each waiting check.
+	remaining := a.waiting[:0]
+	for _, c := range a.waiting {
+		c.attempts++
+		if a.policy.MaxAttempts > 0 && c.attempts >= a.policy.MaxAttempts {
+			if a.policy.DefaultAllow {
+				h.emit(trace.EventAccessDefault, app, c.key.user, "resolve-failed")
+				h.finish(c, Decision{Allowed: true, DefaultAllowed: true, Attempts: c.attempts})
+			} else {
+				h.emit(trace.EventAccessDenied, app, c.key.user, "resolve-failed")
+				h.finish(c, Decision{Attempts: c.attempts})
+			}
+			continue
+		}
+		remaining = append(remaining, c)
+	}
+	a.waiting = remaining
+	if len(a.waiting) > 0 {
+		h.resolveManagers(a, app)
+	}
+}
+
+func (h *Host) onResolveResponse(from wire.NodeID, m wire.ResolveResponse) {
+	a, ok := h.apps[m.App]
+	if !ok || !a.resolving || m.Nonce != a.resolveNonce {
+		return
+	}
+	// Only the trusted name service may install a manager set (§3.2).
+	if from != a.nameService {
+		return
+	}
+	a.resolving = false
+	if a.resolveTimer != nil {
+		a.resolveTimer.Stop()
+	}
+	if len(m.Managers) == 0 {
+		// Name service knows no managers: treat like a resolve timeout.
+		h.onResolveTimeout(a, m.App)
+		return
+	}
+	a.managers = append([]wire.NodeID(nil), m.Managers...)
+	if m.TTL > 0 {
+		a.managersExpire = h.env.Now().Add(m.TTL)
+	} else {
+		a.managersExpire = time.Time{}
+	}
+	waiting := a.waiting
+	a.waiting = nil
+	for _, c := range waiting {
+		// The resolve consumed rounds; startRound will add one more.
+		c.attempts--
+		if c.attempts < 0 {
+			c.attempts = 0
+		}
+		h.startRound(a, c)
+	}
+}
+
+// SetManagers replaces the manager set for app directly (the static
+// counterpart of name-service driven reconfiguration, §3.2). The policy's
+// check quorum must fit the new set.
+func (h *Host) SetManagers(app wire.AppID, managers []wire.NodeID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a, ok := h.apps[app]
+	if !ok {
+		return fmt.Errorf("%w: unknown app %s", ErrConfig, app)
+	}
+	if len(managers) < a.policy.CheckQuorum {
+		return fmt.Errorf("%w: %d managers < check quorum %d", ErrConfig, len(managers), a.policy.CheckQuorum)
+	}
+	a.managers = append([]wire.NodeID(nil), managers...)
+	a.managersExpire = time.Time{}
+	return nil
+}
+
+// PurgeExpired drops expired cache entries; call it periodically in
+// long-running deployments (§3.2).
+func (h *Host) PurgeExpired() int {
+	return h.cache.PurgeExpired(h.env.Now())
+}
+
+// SetCacheLimit bounds the total number of cached entries across all
+// applications on this host (0 = unbounded); earliest-expiring entries are
+// evicted first (§3.2's memory-saving motivation).
+func (h *Host) SetCacheLimit(n int) { h.cache.SetMaxEntries(n) }
+
+// CacheLen reports the number of cached entries (for tests and metrics).
+func (h *Host) CacheLen() int { return h.cache.Len() }
+
+// CacheGranters reports how many managers vouch for a cached entry.
+func (h *Host) CacheGranters(app wire.AppID, user wire.UserID, right wire.Right) int {
+	return h.cache.Granters(app, user, right)
+}
+
+// Reset clears all volatile state, modeling a host crash + recovery (§3.4:
+// "ACL_cache(A) can simply be initialized to null and refilled using the
+// normal algorithm"). In-flight checks are dropped without callbacks, as a
+// real crash would drop them.
+func (h *Host) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.cache.Clear()
+	for _, c := range h.pending {
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+	}
+	h.pending = make(map[uint64]*check)
+	h.byKey = make(map[checkKey]*check)
+	for _, a := range h.apps {
+		a.waiting = nil
+		a.resolving = false
+		if a.resolveTimer != nil {
+			a.resolveTimer.Stop()
+		}
+	}
+}
+
+func (h *Host) emit(t trace.EventType, app wire.AppID, user wire.UserID, note string) {
+	h.tracer.Emit(trace.Event{
+		Time: h.env.Now(), Node: h.id, Type: t, App: app, User: user, Note: note,
+	})
+}

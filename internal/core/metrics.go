@@ -1,0 +1,82 @@
+package core
+
+// Operational metrics. These are cheap monotonic counters maintained inline
+// by the nodes (unlike the trace.Collector, which retains full events);
+// production deployments export them to whatever metrics system wraps the
+// node.
+
+// HostStats is a snapshot of a host's access-control activity.
+type HostStats struct {
+	// Checks is the number of completed access decisions.
+	Checks uint64
+	// CacheHits counts decisions served from ACL_cache.
+	CacheHits uint64
+	// Allowed counts quorum-confirmed grants (excluding cache hits and
+	// default allows).
+	Allowed uint64
+	// DefaultAllowed counts Figure 4 default allows.
+	DefaultAllowed uint64
+	// Denied counts denials (explicit or unreachable).
+	Denied uint64
+	// RevokeNotices counts revocation notices that flushed a cached entry.
+	RevokeNotices uint64
+	// CacheLen is the current number of cached entries.
+	CacheLen int
+}
+
+// Stats returns a snapshot of the host's counters.
+func (h *Host) Stats() HostStats {
+	h.mu.Lock()
+	st := h.stats
+	h.mu.Unlock()
+	st.CacheLen = h.cache.Len()
+	return st
+}
+
+// ManagerStats is a snapshot of a manager's activity.
+type ManagerStats struct {
+	// QueriesServed counts access-right queries answered (grant or deny).
+	QueriesServed uint64
+	// QueriesFrozen counts queries declined while frozen or syncing.
+	QueriesFrozen uint64
+	// UpdatesIssued counts locally issued operations.
+	UpdatesIssued uint64
+	// UpdatesApplied counts peer operations applied (including buffered and
+	// forced ones when they take effect).
+	UpdatesApplied uint64
+	// UpdatesStale counts peer operations discarded by last-writer-wins.
+	UpdatesStale uint64
+	// QuorumsReached counts own updates whose update quorum completed.
+	QuorumsReached uint64
+	// OutstandingUpdates is the current number of updates still being
+	// retransmitted to some peer.
+	OutstandingUpdates int
+	// PendingNotices is the current number of unacknowledged revocation
+	// notices.
+	PendingNotices int
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stats
+	st.OutstandingUpdates = len(m.outstanding)
+	st.PendingNotices = len(m.notices)
+	return st
+}
+
+// recordDecision tallies a finished check; must be called with h.mu held.
+func (h *Host) recordDecision(d Decision) {
+	h.stats.Checks++
+	switch {
+	case d.CacheHit:
+		h.stats.CacheHits++
+	case d.DefaultAllowed:
+		h.stats.DefaultAllowed++
+	case d.Allowed:
+		h.stats.Allowed++
+	default:
+		h.stats.Denied++
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"wanac/internal/wire"
+)
+
+// Manager state persistence. The paper's recovery story (§3.4) has a
+// restarted manager fetch current state from a peer before serving; with
+// durable local state a manager can additionally survive a full-group
+// restart (no live peer to sync from) and avoids reusing update sequence
+// numbers after a crash. The snapshot is JSON for debuggability — state is
+// small (managers are few, per §2.1 updates are infrequent).
+
+// persistVersion guards the snapshot format.
+const persistVersion = 1
+
+type persistedState struct {
+	Version int                              `json:"version"`
+	Node    wire.NodeID                      `json:"node"`
+	SavedAt time.Time                        `json:"savedAt"`
+	Entries []wire.ACLEntry                  `json:"entries"`
+	Apps    map[wire.AppID]persistedAppState `json:"apps"`
+}
+
+type persistedAppState struct {
+	Counter uint64                 `json:"counter"`
+	Applied map[wire.NodeID]uint64 `json:"applied"`
+	LastOps []wire.Update          `json:"lastOps"`
+}
+
+// SaveState writes a snapshot of the manager's durable state: the ACL, the
+// per-origin applied counters, the own-update counter, and the
+// last-writer-wins frontier. Volatile dissemination state (outstanding
+// retransmissions, grant tables, freeze status) is intentionally excluded:
+// after a restart, retransmissions are the origins' responsibility and
+// grant-table entries are covered by the expiration bound (§3.4).
+func (m *Manager) SaveState(w io.Writer) error {
+	m.mu.Lock()
+	st := persistedState{
+		Version: persistVersion,
+		Node:    m.id,
+		SavedAt: m.env.Now(),
+		Entries: m.store.Entries(""),
+		Apps:    make(map[wire.AppID]persistedAppState, len(m.apps)),
+	}
+	for app, ma := range m.apps {
+		pa := persistedAppState{
+			Counter: ma.counter,
+			Applied: make(map[wire.NodeID]uint64, len(ma.applied)),
+		}
+		for o, c := range ma.applied {
+			pa.Applied[o] = c
+		}
+		for _, op := range ma.lastOp {
+			pa.LastOps = append(pa.LastOps, op)
+		}
+		sort.Slice(pa.LastOps, func(i, j int) bool {
+			a, b := pa.LastOps[i], pa.LastOps[j]
+			if a.User != b.User {
+				return a.User < b.User
+			}
+			return a.Right < b.Right
+		})
+		st.Apps[app] = pa
+	}
+	m.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(st); err != nil {
+		return fmt.Errorf("save manager state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores a snapshot written by SaveState. Call it after AddApp
+// registration and before attaching the node to the network. Applications
+// present in the snapshot but not registered are ignored (with their ACL
+// entries). The manager remains answerable immediately; running Recover()
+// afterwards to pick up operations missed while down is still recommended
+// when peers are reachable.
+func (m *Manager) LoadState(r io.Reader) error {
+	var st persistedState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("load manager state: %w", err)
+	}
+	if st.Version != persistVersion {
+		return fmt.Errorf("load manager state: unsupported version %d", st.Version)
+	}
+	if st.Node != "" && st.Node != m.id {
+		return fmt.Errorf("load manager state: snapshot belongs to %s, not %s", st.Node, m.id)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	registered := func(app wire.AppID) bool {
+		_, ok := m.apps[app]
+		return ok
+	}
+	for _, e := range st.Entries {
+		if registered(e.App) {
+			m.store.Grant(e.App, e.User, e.Right)
+		}
+	}
+	for app, pa := range st.Apps {
+		ma, ok := m.apps[app]
+		if !ok {
+			continue
+		}
+		if pa.Counter > ma.counter {
+			ma.counter = pa.Counter
+		}
+		for o, c := range pa.Applied {
+			if c > ma.applied[o] {
+				ma.applied[o] = c
+			}
+		}
+		for _, op := range pa.LastOps {
+			gk := grantKey{user: op.User, right: op.Right}
+			if cur, ok := ma.lastOp[gk]; !ok || newerOp(op, cur) {
+				ma.lastOp[gk] = op
+			}
+		}
+	}
+	return nil
+}

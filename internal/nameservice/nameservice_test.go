@@ -1,0 +1,88 @@
+package nameservice
+
+import (
+	"testing"
+	"time"
+
+	"wanac/internal/core"
+	"wanac/internal/simnet"
+	"wanac/internal/wire"
+)
+
+type fakeEnv struct {
+	sent []wire.Envelope
+}
+
+var _ core.Env = (*fakeEnv)(nil)
+
+func (e *fakeEnv) Now() time.Time { return time.Time{} }
+
+func (e *fakeEnv) Send(to wire.NodeID, msg wire.Message) {
+	e.sent = append(e.sent, wire.Envelope{To: to, Msg: msg})
+}
+
+func (e *fakeEnv) SetTimer(time.Duration, func()) core.TimerHandle { return nil }
+
+func TestSetResolveRemove(t *testing.T) {
+	env := &fakeEnv{}
+	s := New("ns", env)
+	if s.ID() != "ns" {
+		t.Errorf("ID = %q", s.ID())
+	}
+
+	s.SetManagers("app", []wire.NodeID{"m0", "m1"}, time.Hour)
+	if got := s.Managers("app"); len(got) != 2 || got[0] != "m0" {
+		t.Errorf("Managers = %v", got)
+	}
+
+	s.HandleMessage("h0", wire.ResolveRequest{App: "app", Nonce: 7})
+	if len(env.sent) != 1 {
+		t.Fatalf("sent %d messages", len(env.sent))
+	}
+	resp, ok := env.sent[0].Msg.(wire.ResolveResponse)
+	if !ok || resp.Nonce != 7 || len(resp.Managers) != 2 || resp.TTL != time.Hour {
+		t.Errorf("response = %#v", env.sent[0].Msg)
+	}
+	if env.sent[0].To != "h0" {
+		t.Errorf("sent to %q", env.sent[0].To)
+	}
+
+	// Unknown app: empty response, not silence (the host counts it as a
+	// failed resolve and applies its attempt policy).
+	s.HandleMessage("h0", wire.ResolveRequest{App: "ghost", Nonce: 8})
+	resp = env.sent[1].Msg.(wire.ResolveResponse)
+	if len(resp.Managers) != 0 || resp.Nonce != 8 {
+		t.Errorf("unknown-app response = %#v", resp)
+	}
+
+	// Non-resolve messages are ignored.
+	s.HandleMessage("h0", wire.Heartbeat{})
+	if len(env.sent) != 2 {
+		t.Error("non-resolve message produced a reply")
+	}
+
+	s.Remove("app")
+	if got := s.Managers("app"); len(got) != 0 {
+		t.Errorf("Managers after Remove = %v", got)
+	}
+}
+
+// TestManagerSetIsolation: the caller's slice is copied both in and out.
+func TestManagerSetIsolation(t *testing.T) {
+	env := &fakeEnv{}
+	s := New("ns", env)
+	in := []wire.NodeID{"m0"}
+	s.SetManagers("app", in, 0)
+	in[0] = "evil"
+	if got := s.Managers("app"); got[0] != "m0" {
+		t.Error("SetManagers aliased the caller's slice")
+	}
+	out := s.Managers("app")
+	out[0] = "evil"
+	if got := s.Managers("app"); got[0] != "m0" {
+		t.Error("Managers exposed internal state")
+	}
+}
+
+// Compile-time check against the production wiring.
+var _ simnet.Handler = (*Server)(nil)

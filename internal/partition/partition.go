@@ -1,0 +1,229 @@
+// Package partition injects the failure environment of §2.1 into a
+// simulated network: frequent short network partitions caused by
+// congestion, rarer long partitions, and rare host crashes with recoveries
+// (MTTF "on the order of several weeks"). Scenarios can be scripted
+// (deterministic event lists) or stochastic (flap and crash models driven
+// by a seeded RNG), and both compose.
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"wanac/internal/simnet"
+	"wanac/internal/wire"
+)
+
+// Event is one scripted change to the network at a given offset from the
+// scenario start.
+type Event struct {
+	At time.Duration
+	Do func(net *simnet.Network)
+}
+
+// Script is a deterministic scenario: a list of timed events.
+type Script []Event
+
+// Cut returns an event severing the link between two nodes.
+func Cut(at time.Duration, a, b wire.NodeID) Event {
+	return Event{At: at, Do: func(n *simnet.Network) { n.SetLink(a, b, false) }}
+}
+
+// Restore returns an event restoring the link between two nodes.
+func Restore(at time.Duration, a, b wire.NodeID) Event {
+	return Event{At: at, Do: func(n *simnet.Network) { n.SetLink(a, b, true) }}
+}
+
+// Split returns an event partitioning the node set into groups.
+func Split(at time.Duration, groups ...[]wire.NodeID) Event {
+	return Event{At: at, Do: func(n *simnet.Network) { n.Partition(groups...) }}
+}
+
+// Heal returns an event restoring every link.
+func Heal(at time.Duration) Event {
+	return Event{At: at, Do: func(n *simnet.Network) { n.Heal() }}
+}
+
+// Crash returns an event crashing a node.
+func Crash(at time.Duration, id wire.NodeID) Event {
+	return Event{At: at, Do: func(n *simnet.Network) { n.Crash(id) }}
+}
+
+// Recover returns an event recovering a crashed node. Protocol-level
+// recovery (cache reset, manager sync) is the node's own job; hook it with
+// an extra custom Event.
+func Recover(at time.Duration, id wire.NodeID) Event {
+	return Event{At: at, Do: func(n *simnet.Network) { n.Recover(id) }}
+}
+
+// Apply schedules the script's events on the network's scheduler, relative
+// to the current virtual time. Events fire in At order regardless of their
+// order in the slice.
+func (s Script) Apply(net *simnet.Network) {
+	sorted := make(Script, len(s))
+	copy(sorted, s)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	for _, e := range sorted {
+		e := e
+		net.Scheduler().After(e.At, func() { e.Do(net) })
+	}
+}
+
+// Link names one undirected pair for the stochastic models.
+type Link struct {
+	A, B wire.NodeID
+}
+
+// Links builds the full bipartite link set between two node groups.
+func Links(as, bs []wire.NodeID) []Link {
+	out := make([]Link, 0, len(as)*len(bs))
+	for _, a := range as {
+		for _, b := range bs {
+			out = append(out, Link{A: a, B: b})
+		}
+	}
+	return out
+}
+
+// Mesh builds the full link set among one node group.
+func Mesh(nodes []wire.NodeID) []Link {
+	var out []Link
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			out = append(out, Link{A: nodes[i], B: nodes[j]})
+		}
+	}
+	return out
+}
+
+// FlapModel is the congestion model of §2.1: "temporary network partitions
+// caused mostly by network congestion can be frequent". Every Tick, each
+// link independently goes down with probability DownProb for an
+// exponentially distributed outage with the given mean.
+type FlapModel struct {
+	Links      []Link
+	Tick       time.Duration
+	DownProb   float64
+	MeanOutage time.Duration
+	// Seed drives the model's private RNG for reproducibility.
+	Seed int64
+	// Until stops the model after this much scenario time (0 = run for the
+	// lifetime of the scheduler).
+	Until time.Duration
+
+	rng     *rand.Rand
+	net     *simnet.Network
+	stopped bool
+	elapsed time.Duration
+}
+
+// Start begins injecting flaps. It returns the model so callers can Stop it.
+func (f *FlapModel) Start(net *simnet.Network) *FlapModel {
+	if f.Tick <= 0 {
+		f.Tick = 5 * time.Second
+	}
+	if f.MeanOutage <= 0 {
+		f.MeanOutage = 20 * time.Second
+	}
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	f.rng = rand.New(rand.NewSource(seed))
+	f.net = net
+	f.schedule()
+	return f
+}
+
+// Stop halts future flaps (outages already in progress still heal).
+func (f *FlapModel) Stop() { f.stopped = true }
+
+func (f *FlapModel) schedule() {
+	f.net.Scheduler().After(f.Tick, func() {
+		if f.stopped {
+			return
+		}
+		f.elapsed += f.Tick
+		if f.Until > 0 && f.elapsed > f.Until {
+			return
+		}
+		for _, l := range f.Links {
+			if f.rng.Float64() >= f.DownProb {
+				continue
+			}
+			l := l
+			f.net.SetLink(l.A, l.B, false)
+			outage := time.Duration(f.rng.ExpFloat64() * float64(f.MeanOutage))
+			f.net.Scheduler().After(outage, func() { f.net.SetLink(l.A, l.B, true) })
+		}
+		f.schedule()
+	})
+}
+
+// CrashModel injects rare host failures: each node crashes after an
+// exponentially distributed lifetime with the given MTTF and recovers after
+// an exponentially distributed repair time (§2.1: individual host failures
+// are "relatively rare ... MTTF ... on the order of several weeks").
+type CrashModel struct {
+	Nodes []wire.NodeID
+	MTTF  time.Duration
+	MTTR  time.Duration
+	Seed  int64
+	// OnCrash/OnRecover let the harness reset protocol state (empty the
+	// host's ACL cache, trigger manager sync) alongside the network-level
+	// crash flag.
+	OnCrash   func(id wire.NodeID)
+	OnRecover func(id wire.NodeID)
+
+	rng     *rand.Rand
+	net     *simnet.Network
+	stopped bool
+}
+
+// Start begins the crash/recovery process for every node.
+func (c *CrashModel) Start(net *simnet.Network) *CrashModel {
+	if c.MTTF <= 0 {
+		c.MTTF = 14 * 24 * time.Hour
+	}
+	if c.MTTR <= 0 {
+		c.MTTR = time.Hour
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c.rng = rand.New(rand.NewSource(seed))
+	c.net = net
+	for _, id := range c.Nodes {
+		c.scheduleCrash(id)
+	}
+	return c
+}
+
+// Stop halts future crash/recovery events.
+func (c *CrashModel) Stop() { c.stopped = true }
+
+func (c *CrashModel) scheduleCrash(id wire.NodeID) {
+	wait := time.Duration(c.rng.ExpFloat64() * float64(c.MTTF))
+	c.net.Scheduler().After(wait, func() {
+		if c.stopped {
+			return
+		}
+		c.net.Crash(id)
+		if c.OnCrash != nil {
+			c.OnCrash(id)
+		}
+		repair := time.Duration(c.rng.ExpFloat64() * float64(c.MTTR))
+		c.net.Scheduler().After(repair, func() {
+			if c.stopped {
+				return
+			}
+			c.net.Recover(id)
+			if c.OnRecover != nil {
+				c.OnRecover(id)
+			}
+			c.scheduleCrash(id)
+		})
+	})
+}

@@ -1,0 +1,100 @@
+package quorum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Plan is a recommended (M, C) configuration meeting availability and
+// security targets.
+type Plan struct {
+	M, C int
+	PA   float64
+	PS   float64
+}
+
+// Targets are the per-application goals a deployment planner must meet.
+type Targets struct {
+	// Availability is the minimum acceptable PA(C).
+	Availability float64
+	// Security is the minimum acceptable PS(C).
+	Security float64
+	// Pi is the estimated per-pair site inaccessibility probability.
+	Pi float64
+	// MaxManagers caps the search (managers cost machines and update
+	// traffic). Zero means 20.
+	MaxManagers int
+}
+
+// PlanParams finds the smallest manager set (and within it the cheapest
+// check quorum) meeting both targets, implementing §4.1's guidance: "if it
+// is impossible to satisfy both availability and security goals given a set
+// of managers, one way to solve the problem is to increase the cardinality
+// of this set". Among feasible C for the minimal M, the smallest C is
+// returned (checks cost O(C), §4.1). An error is returned when even
+// MaxManagers cannot meet the targets at this Pi.
+func PlanParams(t Targets) (Plan, error) {
+	if t.Availability < 0 || t.Availability > 1 || t.Security < 0 || t.Security > 1 {
+		return Plan{}, fmt.Errorf("%w: targets must be probabilities", ErrParams)
+	}
+	if t.Pi < 0 || t.Pi > 1 || math.IsNaN(t.Pi) {
+		return Plan{}, fmt.Errorf("%w: Pi=%v", ErrParams, t.Pi)
+	}
+	maxM := t.MaxManagers
+	if maxM <= 0 {
+		maxM = 20
+	}
+	for m := 1; m <= maxM; m++ {
+		curve, err := Curve(m, t.Pi)
+		if err != nil {
+			return Plan{}, err
+		}
+		for _, p := range curve { // ascending C: first hit is the cheapest
+			if p.PA >= t.Availability && p.PS >= t.Security {
+				return Plan{M: m, C: p.C, PA: p.PA, PS: p.PS}, nil
+			}
+		}
+	}
+	return Plan{}, fmt.Errorf("%w: no (M<=%d, C) meets PA>=%v and PS>=%v at Pi=%v",
+		ErrParams, maxM, t.Availability, t.Security, t.Pi)
+}
+
+// FeasibleRegion returns, for each M in [1, maxM], the range of check
+// quorums meeting both targets (CLow > CHigh means none). It is the data
+// behind capacity-planning plots: how much slack each additional manager
+// buys.
+type FeasibleRange struct {
+	M            int
+	CLow, CHigh  int
+	BestMinOfTwo float64 // max over C of min(PA, PS)
+}
+
+// FeasibleRegion evaluates the feasible C ranges for every manager-set size.
+func FeasibleRegion(t Targets, maxM int) ([]FeasibleRange, error) {
+	if maxM <= 0 {
+		maxM = 20
+	}
+	out := make([]FeasibleRange, 0, maxM)
+	for m := 1; m <= maxM; m++ {
+		curve, err := Curve(m, t.Pi)
+		if err != nil {
+			return nil, err
+		}
+		fr := FeasibleRange{M: m, CLow: m + 1, CHigh: 0}
+		for _, p := range curve {
+			if v := math.Min(p.PA, p.PS); v > fr.BestMinOfTwo {
+				fr.BestMinOfTwo = v
+			}
+			if p.PA >= t.Availability && p.PS >= t.Security {
+				if p.C < fr.CLow {
+					fr.CLow = p.C
+				}
+				if p.C > fr.CHigh {
+					fr.CHigh = p.C
+				}
+			}
+		}
+		out = append(out, fr)
+	}
+	return out, nil
+}

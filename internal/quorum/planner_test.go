@@ -1,0 +1,126 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanParamsBasic(t *testing.T) {
+	p, err := PlanParams(Targets{Availability: 0.99, Security: 0.99, Pi: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PA < 0.99 || p.PS < 0.99 {
+		t.Errorf("plan misses targets: %+v", p)
+	}
+	// Smaller M must be infeasible (minimality).
+	if p.M > 1 {
+		curve, _ := Curve(p.M-1, 0.1)
+		for _, pt := range curve {
+			if pt.PA >= 0.99 && pt.PS >= 0.99 {
+				t.Errorf("M=%d already feasible, planner chose %d", p.M-1, p.M)
+			}
+		}
+	}
+	// Smaller C at the chosen M must be infeasible.
+	if p.C > 1 {
+		pa, _ := PA(p.M, p.C-1, 0.1)
+		ps, _ := PS(p.M, p.C-1, 0.1)
+		if pa >= 0.99 && ps >= 0.99 {
+			t.Errorf("C=%d already feasible at M=%d", p.C-1, p.M)
+		}
+	}
+}
+
+func TestPlanParamsPerfectNetwork(t *testing.T) {
+	p, err := PlanParams(Targets{Availability: 1, Security: 1, Pi: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.M != 1 || p.C != 1 {
+		t.Errorf("perfect network should plan (1,1): %+v", p)
+	}
+}
+
+func TestPlanParamsInfeasible(t *testing.T) {
+	// Pi=0.9 with tight targets and few managers: impossible.
+	if _, err := PlanParams(Targets{Availability: 0.999, Security: 0.999, Pi: 0.9, MaxManagers: 5}); err == nil {
+		t.Error("infeasible targets accepted")
+	}
+	if _, err := PlanParams(Targets{Availability: 1.5, Security: 0.5, Pi: 0.1}); err == nil {
+		t.Error("non-probability target accepted")
+	}
+	if _, err := PlanParams(Targets{Availability: 0.5, Security: 0.5, Pi: -1}); err == nil {
+		t.Error("bad Pi accepted")
+	}
+}
+
+// TestPlanParamsMoreManagersHelpQuick: §4.1's claim — raising M (with the
+// planner free to pick C) never hurts: if targets are feasible at maxM they
+// remain feasible at maxM+1 and the planned M never exceeds what was needed.
+func TestPlanParamsMoreManagersHelpQuick(t *testing.T) {
+	f := func(aRaw, sRaw, piRaw uint16) bool {
+		targets := Targets{
+			Availability: 0.8 + float64(aRaw%200)/1000, // [0.8, 1.0)
+			Security:     0.8 + float64(sRaw%200)/1000,
+			Pi:           float64(piRaw%300) / 1000, // [0, 0.3)
+			MaxManagers:  14,
+		}
+		p1, err1 := PlanParams(targets)
+		targets.MaxManagers = 20
+		p2, err2 := PlanParams(targets)
+		if err1 != nil {
+			return true // infeasible at 14 says nothing about correctness
+		}
+		if err2 != nil {
+			return false // feasible at 14 must stay feasible at 20
+		}
+		return p1.M == p2.M && p1.C == p2.C // minimal plan is cap-independent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeasibleRegion(t *testing.T) {
+	region, err := FeasibleRegion(Targets{Availability: 0.99, Security: 0.99, Pi: 0.1}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(region) != 12 {
+		t.Fatalf("region size %d", len(region))
+	}
+	// Feasibility is monotone-ish: once a window exists it should not
+	// vanish as M grows (the planner's premise).
+	opened := false
+	for _, fr := range region {
+		feasible := fr.CLow <= fr.CHigh
+		if feasible {
+			opened = true
+			// Validate the reported window endpoints.
+			pa, _ := PA(fr.M, fr.CLow, 0.1)
+			ps, _ := PS(fr.M, fr.CLow, 0.1)
+			if pa < 0.99 || ps < 0.99 {
+				t.Errorf("M=%d CLow=%d not actually feasible", fr.M, fr.CLow)
+			}
+		} else if opened {
+			t.Errorf("feasible window vanished at M=%d", fr.M)
+		}
+		if fr.BestMinOfTwo < 0 || fr.BestMinOfTwo > 1 {
+			t.Errorf("M=%d BestMinOfTwo=%v", fr.M, fr.BestMinOfTwo)
+		}
+	}
+	if !opened {
+		t.Error("no feasible window up to M=12 at Pi=0.1")
+	}
+}
+
+func TestFeasibleRegionDefaultsAndErrors(t *testing.T) {
+	if _, err := FeasibleRegion(Targets{Pi: 2}, 0); err == nil {
+		t.Error("bad Pi accepted")
+	}
+	region, err := FeasibleRegion(Targets{Availability: 0.5, Security: 0.5, Pi: 0.1}, 0)
+	if err != nil || len(region) != 20 {
+		t.Errorf("default maxM: len=%d err=%v", len(region), err)
+	}
+}

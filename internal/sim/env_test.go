@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"wanac/internal/simnet"
+	"wanac/internal/vclock"
+)
+
+func TestEnvBasics(t *testing.T) {
+	sched := simnet.NewScheduler()
+	net := simnet.New(sched, simnet.Config{})
+	e := NewEnv("n1", net)
+	if e.ID() != "n1" {
+		t.Errorf("ID = %q", e.ID())
+	}
+	if !e.Now().Equal(vclock.Epoch) {
+		t.Errorf("Now = %v", e.Now())
+	}
+	fired := false
+	e.SetTimer(time.Second, func() { fired = true })
+	sched.RunFor(2 * time.Second)
+	if !fired {
+		t.Error("timer did not fire")
+	}
+}
+
+func TestDriftingEnvTimerScaling(t *testing.T) {
+	sched := simnet.NewScheduler()
+	net := simnet.New(sched, simnet.Config{})
+	// A clock at half speed measures 10s of local time over 20s of real
+	// (simulated) time, so a 10s local timer fires at real t=20s.
+	e := NewDriftingEnv("slow", net, 0.5)
+	fired := false
+	e.SetTimer(10*time.Second, func() { fired = true })
+	sched.RunFor(19 * time.Second)
+	if fired {
+		t.Fatal("slow clock's timer fired too early")
+	}
+	sched.RunFor(2 * time.Second)
+	if !fired {
+		t.Fatal("slow clock's timer never fired")
+	}
+	// Local elapsed time is about half of real elapsed.
+	local := e.Now().Sub(vclock.Epoch)
+	if local < 10*time.Second || local > 11*time.Second {
+		t.Errorf("local elapsed = %v, want ~10.5s", local)
+	}
+}
+
+func TestDriftingEnvInvalidRate(t *testing.T) {
+	sched := simnet.NewScheduler()
+	net := simnet.New(sched, simnet.Config{})
+	e := NewDriftingEnv("x", net, 0) // coerced to rate 1
+	fired := false
+	e.SetTimer(time.Second, func() { fired = true })
+	sched.RunFor(time.Second)
+	if !fired {
+		t.Error("rate-0 env timer did not fire at rate 1")
+	}
+}

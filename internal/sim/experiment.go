@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wanac/internal/core"
+	"wanac/internal/stats"
+	"wanac/internal/wire"
+)
+
+// This file implements the Monte Carlo experiments behind the paper's
+// evaluation (§4.1). Unlike the closed-form formulas in internal/quorum,
+// these estimates drive the real protocol code: each trial builds a small
+// world, samples the link-inaccessibility pattern (each host-manager or
+// manager-manager pair independently inaccessible with probability Pi), and
+// runs an actual access check or revocation dissemination through the
+// simulator. Agreement between the estimates and the formulas validates
+// both the implementation and the analysis.
+
+// TrialParams parameterizes one experiment cell.
+type TrialParams struct {
+	// M is the number of managers, C the check quorum.
+	M, C int
+	// Pi is the per-pair site inaccessibility probability.
+	Pi float64
+	// Trials is the number of Monte Carlo trials.
+	Trials int
+	// Seed makes the estimate reproducible.
+	Seed int64
+}
+
+const (
+	trialQueryTimeout = 200 * time.Millisecond
+	trialTe           = time.Minute
+	trialDeadline     = time.Hour
+)
+
+// trialConfig builds the world template for one trial.
+func trialConfig(p TrialParams, hosts int) Config {
+	return Config{
+		Managers: p.M,
+		Hosts:    hosts,
+		Policy: core.Policy{
+			CheckQuorum:  p.C,
+			Te:           trialTe,
+			QueryTimeout: trialQueryTimeout,
+			// Two rounds: the first queries a window of C managers, the
+			// second widens to all M, matching the analytic model's "at
+			// least C of M accessible" with a static partition pattern.
+			MaxAttempts: 2,
+		},
+		Te:               trialTe,
+		Users:            []wire.UserID{"u"},
+		MaxUpdateRetries: 1, // the partition pattern is static per trial
+		UpdateRetry:      trialQueryTimeout,
+	}
+}
+
+// EstimatePA estimates the availability PA(C) empirically: the probability
+// that a host with a cold cache can assemble a check quorum when each
+// host-manager pair is inaccessible with probability Pi.
+func EstimatePA(p TrialParams) (stats.Proportion, error) {
+	if err := validateTrial(p); err != nil {
+		return stats.Proportion{}, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	successes := 0
+	for trial := 0; trial < p.Trials; trial++ {
+		w, err := Build(trialConfig(p, 1))
+		if err != nil {
+			return stats.Proportion{}, err
+		}
+		for m := 0; m < p.M; m++ {
+			if rng.Float64() < p.Pi {
+				w.Net.SetLink(HostID(0), ManagerID(m), false)
+			}
+		}
+		d, done := w.CheckSync(0, "u", wire.RightUse, trialDeadline)
+		if done && d.Allowed && !d.DefaultAllowed {
+			successes++
+		}
+	}
+	return stats.NewProportion(successes, p.Trials), nil
+}
+
+// EstimatePS estimates the security PS(C) empirically: the probability that
+// a revocation issued at manager 0 assembles its update quorum of M-C+1
+// managers when each manager pair involving the origin is inaccessible with
+// probability Pi.
+func EstimatePS(p TrialParams) (stats.Proportion, error) {
+	if err := validateTrial(p); err != nil {
+		return stats.Proportion{}, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	successes := 0
+	for trial := 0; trial < p.Trials; trial++ {
+		w, err := Build(trialConfig(p, 0))
+		if err != nil {
+			return stats.Proportion{}, err
+		}
+		for m := 1; m < p.M; m++ {
+			if rng.Float64() < p.Pi {
+				w.PartitionManagerPair(0, m)
+			}
+		}
+		reply, done := w.Revoke(0, "u", trialDeadline)
+		if done && reply.QuorumReached {
+			successes++
+		}
+	}
+	return stats.NewProportion(successes, p.Trials), nil
+}
+
+func validateTrial(p TrialParams) error {
+	switch {
+	case p.M < 1:
+		return fmt.Errorf("sim: M=%d", p.M)
+	case p.C < 1 || p.C > p.M:
+		return fmt.Errorf("sim: C=%d outside [1,%d]", p.C, p.M)
+	case p.Pi < 0 || p.Pi > 1:
+		return fmt.Errorf("sim: Pi=%v", p.Pi)
+	case p.Trials < 1:
+		return fmt.Errorf("sim: Trials=%d", p.Trials)
+	}
+	return nil
+}
+
+// RevocationLatencyParams configures the Figure 3 behavioural experiment:
+// how long a revoked user retains access at a host that is partitioned from
+// all managers when the revocation is issued.
+type RevocationLatencyParams struct {
+	Managers int
+	C        int
+	Te       time.Duration
+	// HostClockRate models the host's drift (in [ClockBound, 1]).
+	HostClockRate float64
+	ClockBound    float64
+	// ProbePeriod is how often the experiment re-checks whether the host
+	// still grants access (bounds measurement granularity).
+	ProbePeriod time.Duration
+}
+
+// RevocationLatencyResult reports when access actually stopped relative to
+// the revocation's update quorum.
+type RevocationLatencyResult struct {
+	// Retained is how long after quorum the host kept granting access.
+	Retained time.Duration
+	// Bound is Te: Retained must never exceed it.
+	Bound time.Duration
+}
+
+// MeasureRevocationLatency grants, caches, partitions the host, revokes,
+// and probes the host's local decision (cache-only: the host cannot reach
+// managers) until access stops. The probe uses the host's own cache lookup
+// path via a zero-attempt policy check.
+func MeasureRevocationLatency(p RevocationLatencyParams) (RevocationLatencyResult, error) {
+	if p.ProbePeriod <= 0 {
+		p.ProbePeriod = p.Te / 100
+	}
+	cfg := Config{
+		Managers: p.Managers,
+		Hosts:    1,
+		Policy: core.Policy{
+			CheckQuorum:  p.C,
+			Te:           p.Te,
+			ClockBound:   p.ClockBound,
+			QueryTimeout: trialQueryTimeout,
+			MaxAttempts:  1,
+		},
+		Te:               p.Te,
+		ClockBound:       p.ClockBound,
+		Users:            []wire.UserID{"u"},
+		MaxUpdateRetries: 1,
+		UpdateRetry:      trialQueryTimeout,
+	}
+	if p.HostClockRate > 0 {
+		cfg.HostClockRates = []float64{p.HostClockRate}
+	}
+	w, err := Build(cfg)
+	if err != nil {
+		return RevocationLatencyResult{}, err
+	}
+	if d, ok := w.CheckSync(0, "u", wire.RightUse, trialDeadline); !ok || !d.Allowed {
+		return RevocationLatencyResult{}, fmt.Errorf("sim: initial grant failed: %+v", d)
+	}
+	for m := 0; m < p.Managers; m++ {
+		w.PartitionHostFromManagers(0, m)
+	}
+	reply, ok := w.Revoke(0, "u", trialDeadline)
+	if !ok || !reply.QuorumReached {
+		return RevocationLatencyResult{}, fmt.Errorf("sim: revoke quorum failed: %+v", reply)
+	}
+	quorumAt := w.Sched.Now()
+
+	// Probe until the cached entry stops granting. Retention is the last
+	// instant access was still ALLOWED relative to quorum — the guarantee
+	// is "U cannot access the application after t+Te" (§3.2), so the last
+	// allowed observation, not the first denied one, is what must stay
+	// within the bound.
+	retained := time.Duration(0)
+	for {
+		w.RunFor(p.ProbePeriod)
+		probeAt := w.Sched.Now()
+		d, ok := w.CheckSync(0, "u", wire.RightUse, trialDeadline)
+		if !ok {
+			return RevocationLatencyResult{}, fmt.Errorf("sim: probe did not resolve")
+		}
+		if !d.Allowed {
+			break
+		}
+		retained = probeAt.Sub(quorumAt)
+		if retained > 4*p.Te {
+			return RevocationLatencyResult{}, fmt.Errorf("sim: access retained past 4*Te")
+		}
+	}
+	return RevocationLatencyResult{Retained: retained, Bound: p.Te}, nil
+}
+
+// OverheadPoint is one row of the §4.1 performance analysis: the message
+// cost of the protocol as a function of C and Te.
+type OverheadPoint struct {
+	C  int
+	Te time.Duration
+	// QueriesPerCheck is the number of query messages per cold check (O(C)
+	// in the paper's model, O(M) per round in the multicast realization —
+	// the paper's host contacts managers one at a time, ours queries the
+	// set; both are Θ(C) responses consumed).
+	QueriesPerCheck float64
+	// MessagesPerSecond is the steady-state protocol message rate for one
+	// host continuously using the application (O(C/Te): each expiry forces
+	// a re-check).
+	MessagesPerSecond float64
+	// CheckLatency is the mean decision latency for a cold check.
+	CheckLatency time.Duration
+}
+
+// MeasureOverhead runs one host against M managers for the given simulated
+// duration with a user invoking continuously every accessEvery, and reports
+// message-cost metrics (§4.1: "the performance overhead ... is naturally
+// O(C/Te)").
+func MeasureOverhead(m, c int, te time.Duration, runFor, accessEvery time.Duration) (OverheadPoint, error) {
+	cfg := Config{
+		Managers: m,
+		Hosts:    1,
+		Policy: core.Policy{
+			CheckQuorum:  c,
+			Te:           te,
+			QueryTimeout: trialQueryTimeout,
+			MaxAttempts:  3,
+		},
+		Te:    te,
+		Users: []wire.UserID{"u"},
+	}
+	w, err := Build(cfg)
+	if err != nil {
+		return OverheadPoint{}, err
+	}
+
+	// Cold-check latency and per-check query cost.
+	start := w.Sched.Now()
+	d, ok := w.CheckSync(0, "u", wire.RightUse, trialDeadline)
+	if !ok || !d.Allowed {
+		return OverheadPoint{}, fmt.Errorf("sim: cold check failed: %+v", d)
+	}
+	coldLatency := w.Sched.Now().Sub(start)
+	coldQueries := float64(w.Net.Stats().ByKind["query"])
+
+	// Steady state: the user invokes continuously; every te the cache
+	// expires and forces a manager round trip.
+	w.Net.ResetStats()
+	var tick func()
+	tick = func() {
+		w.Hosts[0].Check(w.Cfg.App, "u", wire.RightUse, func(core.Decision) {})
+		w.Sched.After(accessEvery, tick)
+	}
+	w.Sched.After(accessEvery, tick)
+	w.Sched.RunFor(runFor)
+	st := w.Net.Stats()
+	msgs := float64(st.ByKind["query"] + st.ByKind["response"])
+	return OverheadPoint{
+		C:                 c,
+		Te:                te,
+		QueriesPerCheck:   coldQueries,
+		MessagesPerSecond: msgs / runFor.Seconds(),
+		CheckLatency:      coldLatency,
+	}, nil
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"wanac/internal/core"
+	"wanac/internal/nameservice"
+	"wanac/internal/simnet"
+	"wanac/internal/trace"
+	"wanac/internal/wire"
+)
+
+// Config describes a simulated deployment of one application.
+type Config struct {
+	// App is the application under access control.
+	App wire.AppID
+	// Managers is M, Hosts the number of application hosts.
+	Managers int
+	Hosts    int
+	// Policy is the host-side policy (C, Te, R, timeouts).
+	Policy core.Policy
+	// Manager-side knobs; CheckQuorum is taken from Policy.CheckQuorum.
+	Te               time.Duration
+	ClockBound       float64
+	UpdateRetry      time.Duration
+	MaxUpdateRetries int
+	FreezeTi         time.Duration
+	HeartbeatEvery   time.Duration
+	// Admin is a user seeded with the manage right on every manager, so
+	// tests and experiments can issue updates. Defaults to "admin".
+	Admin wire.UserID
+	// Users are seeded with the use right on every manager.
+	Users []wire.UserID
+	// HostClockRates optionally assigns a clock rate per host (length must
+	// match Hosts); unset hosts get perfect clocks.
+	HostClockRates []float64
+	// UseNameService routes manager discovery through a name service node
+	// instead of static configuration.
+	UseNameService bool
+	NameServiceTTL time.Duration
+	// Net configures the underlying network.
+	Net simnet.Config
+	// Application, when non-nil, is installed on every host.
+	Application core.Application
+}
+
+// World is a fully wired simulated deployment.
+type World struct {
+	Cfg      Config
+	Sched    *simnet.Scheduler
+	Net      *simnet.Network
+	Tracer   *trace.Collector
+	Managers []*core.Manager
+	Hosts    []*core.Host
+	Name     *nameservice.Server
+	// AppCalls counts invocations that reached the wrapped application, per
+	// host index (used by the component-wrapper experiment).
+	AppCalls []int
+}
+
+// ManagerID returns the node id of manager i.
+func ManagerID(i int) wire.NodeID { return wire.NodeID(fmt.Sprintf("m%d", i)) }
+
+// HostID returns the node id of host i.
+func HostID(i int) wire.NodeID { return wire.NodeID(fmt.Sprintf("h%d", i)) }
+
+// NameID is the name service node id.
+const NameID wire.NodeID = "ns"
+
+// Build wires a complete world: managers with the app registered and seeded
+// state, hosts with the policy, optional name service, all attached to a
+// fresh virtual-time network.
+func Build(cfg Config) (*World, error) {
+	if cfg.Managers < 1 {
+		return nil, fmt.Errorf("sim: need at least one manager")
+	}
+	if cfg.Hosts < 0 {
+		return nil, fmt.Errorf("sim: negative host count")
+	}
+	if cfg.App == "" {
+		cfg.App = "app"
+	}
+	if cfg.Admin == "" {
+		cfg.Admin = "admin"
+	}
+
+	sched := simnet.NewScheduler()
+	net := simnet.New(sched, cfg.Net)
+	tracer := trace.NewCollector(0)
+	w := &World{
+		Cfg:      cfg,
+		Sched:    sched,
+		Net:      net,
+		Tracer:   tracer,
+		AppCalls: make([]int, cfg.Hosts),
+	}
+
+	managerIDs := make([]wire.NodeID, cfg.Managers)
+	for i := range managerIDs {
+		managerIDs[i] = ManagerID(i)
+	}
+
+	mCfg := core.ManagerAppConfig{
+		Peers:            managerIDs,
+		CheckQuorum:      cfg.Policy.CheckQuorum,
+		Te:               cfg.Te,
+		ClockBound:       cfg.ClockBound,
+		UpdateRetry:      cfg.UpdateRetry,
+		MaxUpdateRetries: cfg.MaxUpdateRetries,
+		FreezeTi:         cfg.FreezeTi,
+		HeartbeatEvery:   cfg.HeartbeatEvery,
+	}
+	for i := 0; i < cfg.Managers; i++ {
+		env := NewEnv(managerIDs[i], net)
+		mgr := core.NewManager(managerIDs[i], env, tracer, nil)
+		if err := mgr.AddApp(cfg.App, mCfg); err != nil {
+			return nil, fmt.Errorf("manager %d: %w", i, err)
+		}
+		mgr.Seed(cfg.App, cfg.Admin, wire.RightManage)
+		for _, u := range cfg.Users {
+			mgr.Seed(cfg.App, u, wire.RightUse)
+		}
+		net.Attach(managerIDs[i], mgr)
+		w.Managers = append(w.Managers, mgr)
+	}
+
+	if cfg.UseNameService {
+		env := NewEnv(NameID, net)
+		w.Name = nameservice.New(NameID, env)
+		w.Name.SetManagers(cfg.App, managerIDs, cfg.NameServiceTTL)
+		net.Attach(NameID, w.Name)
+	}
+
+	for i := 0; i < cfg.Hosts; i++ {
+		id := HostID(i)
+		var env *Env
+		if cfg.HostClockRates != nil && i < len(cfg.HostClockRates) && cfg.HostClockRates[i] > 0 {
+			env = NewDriftingEnv(id, net, cfg.HostClockRates[i])
+		} else {
+			env = NewEnv(id, net)
+		}
+		host := core.NewHost(id, env, tracer, nil)
+		hCfg := core.HostAppConfig{Policy: cfg.Policy}
+		if cfg.UseNameService {
+			hCfg.NameService = NameID
+		} else {
+			hCfg.Managers = managerIDs
+		}
+		if cfg.Application != nil {
+			hCfg.App = cfg.Application
+		} else {
+			idx := i
+			hCfg.App = core.ApplicationFunc(func(_ wire.UserID, payload []byte) []byte {
+				w.AppCalls[idx]++
+				return append([]byte("ok:"), payload...)
+			})
+		}
+		if err := host.RegisterApp(cfg.App, hCfg); err != nil {
+			return nil, fmt.Errorf("host %d: %w", i, err)
+		}
+		net.Attach(id, host)
+		w.Hosts = append(w.Hosts, host)
+	}
+	return w, nil
+}
+
+// RunFor advances the world by d of simulated time.
+func (w *World) RunFor(d time.Duration) { w.Sched.RunFor(d) }
+
+// CheckSync runs an access check on host i and steps the simulation until
+// the decision lands or the deadline of simulated time passes. It reports
+// ok=false if the deadline expired first.
+func (w *World) CheckSync(host int, user wire.UserID, right wire.Right, deadline time.Duration) (core.Decision, bool) {
+	var (
+		decision core.Decision
+		done     bool
+	)
+	w.Hosts[host].Check(w.Cfg.App, user, right, func(d core.Decision) {
+		decision = d
+		done = true
+	})
+	w.stepUntil(&done, deadline)
+	return decision, done
+}
+
+// SubmitSync issues an AdminOp on manager i and steps until the quorum (or
+// failure) reply lands or the deadline passes.
+func (w *World) SubmitSync(mgr int, op wire.AdminOp, deadline time.Duration) (wire.AdminReply, bool) {
+	var (
+		reply wire.AdminReply
+		done  bool
+	)
+	if op.Issuer == "" {
+		op.Issuer = w.Cfg.Admin
+	}
+	w.Managers[mgr].Submit(op, func(r wire.AdminReply) {
+		reply = r
+		done = true
+	})
+	w.stepUntil(&done, deadline)
+	return reply, done
+}
+
+// Grant adds the use right for user via manager mgr and waits for quorum.
+func (w *World) Grant(mgr int, user wire.UserID, deadline time.Duration) (wire.AdminReply, bool) {
+	return w.SubmitSync(mgr, wire.AdminOp{
+		Op: wire.OpAdd, App: w.Cfg.App, User: user, Right: wire.RightUse,
+	}, deadline)
+}
+
+// Revoke removes the use right for user via manager mgr.
+func (w *World) Revoke(mgr int, user wire.UserID, deadline time.Duration) (wire.AdminReply, bool) {
+	return w.SubmitSync(mgr, wire.AdminOp{
+		Op: wire.OpRevoke, App: w.Cfg.App, User: user, Right: wire.RightUse,
+	}, deadline)
+}
+
+// InvokeSync delivers a user Invoke to host i from a synthetic user-agent
+// node and steps until the reply arrives or the deadline passes.
+func (w *World) InvokeSync(host int, user wire.UserID, payload []byte, deadline time.Duration) (wire.InvokeReply, bool) {
+	agent := wire.NodeID("agent-" + string(user))
+	var (
+		reply wire.InvokeReply
+		done  bool
+	)
+	w.Net.Attach(agent, simnet.HandlerFunc(func(_ wire.NodeID, msg wire.Message) {
+		if r, ok := msg.(wire.InvokeReply); ok {
+			reply = r
+			done = true
+		}
+	}))
+	w.Net.Send(agent, HostID(host), wire.Invoke{App: w.Cfg.App, User: user, Payload: payload})
+	w.stepUntil(&done, deadline)
+	return reply, done
+}
+
+// stepUntil steps the scheduler until *done or the simulated deadline.
+func (w *World) stepUntil(done *bool, deadline time.Duration) {
+	limit := w.Sched.Now().Add(deadline)
+	for !*done {
+		if w.Sched.Pending() == 0 {
+			return
+		}
+		if w.Sched.Now().After(limit) {
+			return
+		}
+		w.Sched.Step()
+	}
+}
+
+// PartitionHostFromManagers cuts the links between host i and the given
+// managers (both directions).
+func (w *World) PartitionHostFromManagers(host int, managers ...int) {
+	for _, m := range managers {
+		w.Net.SetLink(HostID(host), ManagerID(m), false)
+	}
+}
+
+// PartitionManagerPair cuts the link between two managers.
+func (w *World) PartitionManagerPair(a, b int) {
+	w.Net.SetLink(ManagerID(a), ManagerID(b), false)
+}
+
+// Heal restores all links.
+func (w *World) Heal() { w.Net.Heal() }

@@ -1,0 +1,275 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wanac/internal/wire"
+)
+
+// Handler receives messages delivered by the network. Protocol nodes
+// implement Handler; the network invokes it from the scheduler goroutine.
+type Handler interface {
+	HandleMessage(from wire.NodeID, msg wire.Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from wire.NodeID, msg wire.Message)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(from wire.NodeID, msg wire.Message) { f(from, msg) }
+
+// Config parameterizes the network's default behaviour. Per-link overrides
+// are applied through Network methods after construction.
+type Config struct {
+	// Latency is the default one-way delay model. Nil means Fixed(10ms).
+	Latency LatencyModel
+	// Loss is the default per-message drop probability in [0,1].
+	Loss float64
+	// Duplicate is the probability a delivered message is delivered twice,
+	// modelling retransmission artifacts in an unreliable network.
+	Duplicate float64
+	// Seed makes every run reproducible. Zero means seed 1.
+	Seed int64
+	// CountBytes additionally accounts wire-encoded message sizes (one
+	// Marshal per send), enabling bandwidth measurements at some CPU cost.
+	CountBytes bool
+}
+
+// Counters aggregates network activity for the message-cost experiments
+// (§4.1 overhead analysis).
+type Counters struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64 // lost, link down, or destination crashed/absent
+	Duplicated uint64
+	ByKind     map[string]uint64 // sent, keyed by wire.Message.Kind()
+	// BytesSent and BytesByKind are populated only with Config.CountBytes;
+	// sizes are the compact binary encoding (wire.Marshal).
+	BytesSent   uint64
+	BytesByKind map[string]uint64
+}
+
+type linkKey struct{ from, to wire.NodeID }
+
+type node struct {
+	handler Handler
+	crashed bool
+}
+
+// Network is a simulated unreliable point-to-point + multicast network
+// (§2.2 "Network" component). It is driven by a Scheduler and must only be
+// used from the scheduler goroutine.
+type Network struct {
+	sched    *Scheduler
+	rng      *rand.Rand
+	cfg      Config
+	nodes    map[wire.NodeID]*node
+	cut      map[linkKey]bool    // severed links (directional entries)
+	linkLoss map[linkKey]float64 // per-link loss overrides
+	counters Counters
+	// Filter, when non-nil, is consulted for every send; returning false
+	// drops the message. Tests use it for targeted fault injection (e.g.
+	// drop only Update messages between two managers).
+	Filter func(from, to wire.NodeID, msg wire.Message) bool
+}
+
+// New creates a network on the given scheduler.
+func New(sched *Scheduler, cfg Config) *Network {
+	if cfg.Latency == nil {
+		cfg.Latency = Fixed{D: 10 * time.Millisecond}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		sched:    sched,
+		rng:      rand.New(rand.NewSource(seed)),
+		cfg:      cfg,
+		nodes:    make(map[wire.NodeID]*node),
+		cut:      make(map[linkKey]bool),
+		linkLoss: make(map[linkKey]float64),
+		counters: newCounters(),
+	}
+}
+
+func newCounters() Counters {
+	return Counters{
+		ByKind:      make(map[string]uint64),
+		BytesByKind: make(map[string]uint64),
+	}
+}
+
+// Scheduler returns the scheduler driving this network.
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// Rand exposes the network's deterministic random stream so harness code can
+// derive reproducible randomness without a second seed.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Attach registers a handler under id, replacing any previous registration
+// and clearing a crashed flag.
+func (n *Network) Attach(id wire.NodeID, h Handler) {
+	n.nodes[id] = &node{handler: h}
+}
+
+// Detach removes a node entirely; future messages to it are dropped.
+func (n *Network) Detach(id wire.NodeID) { delete(n.nodes, id) }
+
+// Crash marks a node failed: messages to it are dropped until Recover. The
+// paper assumes crash (not Byzantine) failures for managers (§2.1).
+func (n *Network) Crash(id wire.NodeID) {
+	if nd, ok := n.nodes[id]; ok {
+		nd.crashed = true
+	}
+}
+
+// Recover clears the crashed flag. Node-level state reset (empty ACL cache,
+// manager sync) is the node's own responsibility (§3.4).
+func (n *Network) Recover(id wire.NodeID) {
+	if nd, ok := n.nodes[id]; ok {
+		nd.crashed = false
+	}
+}
+
+// Crashed reports whether id is currently crashed.
+func (n *Network) Crashed(id wire.NodeID) bool {
+	nd, ok := n.nodes[id]
+	return ok && nd.crashed
+}
+
+// SetLink cuts or restores both directions of the link between a and b.
+func (n *Network) SetLink(a, b wire.NodeID, up bool) {
+	n.SetOneWay(a, b, up)
+	n.SetOneWay(b, a, up)
+}
+
+// SetOneWay cuts or restores a single direction, modelling asymmetric
+// routing failures.
+func (n *Network) SetOneWay(from, to wire.NodeID, up bool) {
+	k := linkKey{from, to}
+	if up {
+		delete(n.cut, k)
+	} else {
+		n.cut[k] = true
+	}
+}
+
+// Linked reports whether messages can currently flow from one node to the
+// other (ignoring loss probability and crashes).
+func (n *Network) Linked(from, to wire.NodeID) bool { return !n.cut[linkKey{from, to}] }
+
+// SetLinkLoss overrides the drop probability for one direction of a link.
+// Pass a negative value to remove the override.
+func (n *Network) SetLinkLoss(from, to wire.NodeID, p float64) {
+	k := linkKey{from, to}
+	if p < 0 {
+		delete(n.linkLoss, k)
+		return
+	}
+	n.linkLoss[k] = p
+}
+
+// Partition severs every link between the given groups while leaving links
+// within each group intact. Nodes not mentioned keep their current links.
+func (n *Network) Partition(groups ...[]wire.NodeID) {
+	for i := 0; i < len(groups); i++ {
+		for j := i + 1; j < len(groups); j++ {
+			for _, a := range groups[i] {
+				for _, b := range groups[j] {
+					n.SetLink(a, b, false)
+				}
+			}
+		}
+	}
+}
+
+// Heal restores every cut link.
+func (n *Network) Heal() { n.cut = make(map[linkKey]bool) }
+
+// Send transmits msg from one node to another with the configured latency,
+// loss, and duplication. It never blocks; delivery happens via the
+// scheduler. Sends from a crashed node are suppressed.
+func (n *Network) Send(from, to wire.NodeID, msg wire.Message) {
+	n.counters.Sent++
+	n.counters.ByKind[msg.Kind()]++
+	if n.cfg.CountBytes {
+		if frame, err := wire.Marshal(msg); err == nil {
+			n.counters.BytesSent += uint64(len(frame))
+			n.counters.BytesByKind[msg.Kind()] += uint64(len(frame))
+		}
+	}
+	if nd, ok := n.nodes[from]; ok && nd.crashed {
+		n.counters.Dropped++
+		return
+	}
+	if n.Filter != nil && !n.Filter(from, to, msg) {
+		n.counters.Dropped++
+		return
+	}
+	if n.cut[linkKey{from, to}] {
+		n.counters.Dropped++
+		return
+	}
+	loss := n.cfg.Loss
+	if p, ok := n.linkLoss[linkKey{from, to}]; ok {
+		loss = p
+	}
+	if loss > 0 && n.rng.Float64() < loss {
+		n.counters.Dropped++
+		return
+	}
+	n.deliverAfter(n.cfg.Latency.Sample(n.rng), from, to, msg)
+	if n.cfg.Duplicate > 0 && n.rng.Float64() < n.cfg.Duplicate {
+		n.counters.Duplicated++
+		n.deliverAfter(n.cfg.Latency.Sample(n.rng), from, to, msg)
+	}
+}
+
+func (n *Network) deliverAfter(d time.Duration, from, to wire.NodeID, msg wire.Message) {
+	n.sched.After(d, func() {
+		nd, ok := n.nodes[to]
+		if !ok || nd.crashed {
+			n.counters.Dropped++
+			return
+		}
+		n.counters.Delivered++
+		nd.handler.HandleMessage(from, msg)
+	})
+}
+
+// Multicast sends msg to each destination independently (§2.2: the network
+// provides multicast; like IP multicast it is unreliable and per-receiver
+// independent).
+func (n *Network) Multicast(from wire.NodeID, to []wire.NodeID, msg wire.Message) {
+	for _, dst := range to {
+		n.Send(from, dst, msg)
+	}
+}
+
+// Stats returns a copy of the counters.
+func (n *Network) Stats() Counters {
+	out := n.counters
+	out.ByKind = make(map[string]uint64, len(n.counters.ByKind))
+	for k, v := range n.counters.ByKind {
+		out.ByKind[k] = v
+	}
+	out.BytesByKind = make(map[string]uint64, len(n.counters.BytesByKind))
+	for k, v := range n.counters.BytesByKind {
+		out.BytesByKind[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes the counters (used between experiment phases).
+func (n *Network) ResetStats() {
+	n.counters = newCounters()
+}
+
+// String summarizes counters for logs.
+func (c Counters) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d dropped=%d duplicated=%d",
+		c.Sent, c.Delivered, c.Dropped, c.Duplicated)
+}

@@ -1,0 +1,173 @@
+// Package simnet is the simulated wide-area network substrate: a
+// deterministic discrete-event scheduler driving a message-passing network
+// with configurable latency distributions, loss, duplication, link-level
+// partitions, and node crashes/recoveries.
+//
+// The paper's system model (§2.1-2.2) assumes an unreliable network with
+// point-to-point and multicast communication where temporary partitions are
+// frequent and host failures comparatively rare. simnet implements exactly
+// that model, and the evaluation's i.i.d. link-inaccessibility parameter Pi
+// maps onto per-link loss/cut probabilities sampled by the harness.
+package simnet
+
+import (
+	"container/heap"
+	"time"
+
+	"wanac/internal/vclock"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	fn  func()
+	t   *Timer // non-nil if cancellable
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle for a scheduled callback that can be cancelled before it
+// fires. Stop after firing is a no-op.
+type Timer struct {
+	stopped bool
+	fired   bool
+}
+
+// Stop cancels the timer. It reports whether the callback was prevented from
+// running (false if it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Stopped reports whether Stop was called before the timer fired.
+func (t *Timer) Stopped() bool { return t != nil && t.stopped }
+
+// Fired reports whether the callback has run.
+func (t *Timer) Fired() bool { return t != nil && t.fired }
+
+// Scheduler is a single-threaded discrete-event executor over a virtual
+// clock. Events run in timestamp order (FIFO among equal timestamps), and
+// event callbacks may schedule further events. Schedulers are not safe for
+// concurrent use; all protocol activity in a simulation runs on one
+// goroutine, which is what makes runs deterministic and fast.
+type Scheduler struct {
+	clock *vclock.Virtual
+	queue eventHeap
+	seq   uint64
+	steps uint64
+}
+
+// NewScheduler returns an empty scheduler starting at vclock.Epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{clock: vclock.NewVirtual()}
+}
+
+// Clock exposes the underlying virtual clock (read-only use recommended;
+// advancing it manually does not run due events).
+func (s *Scheduler) Clock() *vclock.Virtual { return s.clock }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.clock.Now() }
+
+// Pending returns the number of queued events (including stopped timers not
+// yet drained).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Steps returns the number of events executed so far.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// At schedules fn at absolute time t (clamped to now if in the past) and
+// returns a cancellable handle.
+func (s *Scheduler) At(t time.Time, fn func()) *Timer {
+	if t.Before(s.Now()) {
+		t = s.Now()
+	}
+	tm := &Timer{}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn, t: tm})
+	return tm
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.Now().Add(d), fn)
+}
+
+// Step executes the next due event, advancing the clock to its timestamp.
+// It returns false when the queue is empty. Stopped timers are skipped.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.t != nil && e.t.stopped {
+			continue
+		}
+		s.clock.Set(e.at)
+		if e.t != nil {
+			e.t.fired = true
+		}
+		s.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty. maxSteps (if > 0) bounds the
+// number of events as a runaway guard; Run reports whether it drained the
+// queue.
+func (s *Scheduler) Run(maxSteps uint64) bool {
+	var n uint64
+	for s.Step() {
+		n++
+		if maxSteps > 0 && n >= maxSteps {
+			return s.Pending() == 0
+		}
+	}
+	return true
+}
+
+// RunUntil executes all events with timestamps <= t, then advances the
+// clock to t.
+func (s *Scheduler) RunUntil(t time.Time) {
+	for len(s.queue) > 0 {
+		// Peek: queue[0] is the earliest event.
+		if s.queue[0].at.After(t) {
+			break
+		}
+		s.Step()
+	}
+	s.clock.Set(t)
+}
+
+// RunFor executes all events in the next d of virtual time.
+func (s *Scheduler) RunFor(d time.Duration) {
+	s.RunUntil(s.Now().Add(d))
+}

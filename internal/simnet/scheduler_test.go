@@ -1,0 +1,160 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"wanac/internal/vclock"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	if !s.Run(0) {
+		t.Fatal("Run did not drain")
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if got, want := s.Now(), vclock.Epoch.Add(30*time.Millisecond); !got.Equal(want) {
+		t.Errorf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run(0)
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var fired []string
+	s.After(time.Millisecond, func() {
+		fired = append(fired, "outer")
+		s.After(time.Millisecond, func() { fired = append(fired, "inner") })
+	})
+	s.Run(0)
+	if len(fired) != 2 || fired[0] != "outer" || fired[1] != "inner" {
+		t.Errorf("fired = %v", fired)
+	}
+	if got, want := s.Now(), vclock.Epoch.Add(2*time.Millisecond); !got.Equal(want) {
+		t.Errorf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	tm := s.After(time.Millisecond, func() { ran = true })
+	if !tm.Stop() {
+		t.Error("Stop returned false for pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop returned true")
+	}
+	s.Run(0)
+	if ran {
+		t.Error("stopped timer fired")
+	}
+	if !tm.Stopped() || tm.Fired() {
+		t.Error("timer state inconsistent after stop")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := NewScheduler()
+	tm := s.After(0, func() {})
+	s.Run(0)
+	if tm.Stop() {
+		t.Error("Stop after fire returned true")
+	}
+	if !tm.Fired() {
+		t.Error("Fired() = false after firing")
+	}
+}
+
+func TestNilTimerStop(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() || tm.Stopped() || tm.Fired() {
+		t.Error("nil timer methods should be false no-ops")
+	}
+}
+
+func TestSchedulerPastEventClamped(t *testing.T) {
+	s := NewScheduler()
+	s.After(time.Second, func() {})
+	s.Run(0)
+	fired := false
+	s.At(vclock.Epoch, func() { fired = true }) // in the past now
+	s.Run(0)
+	if !fired {
+		t.Error("past-scheduled event did not run")
+	}
+	if s.Now().Before(vclock.Epoch.Add(time.Second)) {
+		t.Error("clock went backwards")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	s.After(10*time.Millisecond, func() { fired = append(fired, 1) })
+	s.After(30*time.Millisecond, func() { fired = append(fired, 2) })
+	s.RunUntil(vclock.Epoch.Add(20 * time.Millisecond))
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Errorf("fired = %v, want [1]", fired)
+	}
+	if got, want := s.Now(), vclock.Epoch.Add(20*time.Millisecond); !got.Equal(want) {
+		t.Errorf("Now() = %v, want %v", got, want)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", s.Pending())
+	}
+	s.RunFor(10 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Errorf("fired = %v, want both", fired)
+	}
+}
+
+func TestRunMaxSteps(t *testing.T) {
+	s := NewScheduler()
+	// Self-perpetuating event chain: Run must bail at maxSteps.
+	var tick func()
+	tick = func() { s.After(time.Millisecond, tick) }
+	s.After(0, tick)
+	if s.Run(100) {
+		t.Error("Run claimed to drain an infinite chain")
+	}
+	if s.Steps() < 100 {
+		t.Errorf("Steps() = %d, want >= 100", s.Steps())
+	}
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run(0)
+	if !fired {
+		t.Error("negative-delay event did not run")
+	}
+	if !s.Now().Equal(vclock.Epoch) {
+		t.Errorf("clock moved: %v", s.Now())
+	}
+}

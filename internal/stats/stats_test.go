@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	want := math.Sqrt(2.5) // sample variance of 1..5 is 2.5
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.StdDev != 0 || s.P99 != 7 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {-0.5, 10}, {1.5, 40},
+		{0.5, 25}, // interpolated
+		{1.0 / 3, 20},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile nonzero")
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if s.Mean != 2 {
+		t.Errorf("Mean = %v, want 2 seconds", s.Mean)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	p := NewProportion(90, 100)
+	if p.P != 0.9 {
+		t.Errorf("P = %v", p.P)
+	}
+	if p.Lo >= p.P || p.Hi <= p.P {
+		t.Errorf("interval [%v,%v] does not straddle %v", p.Lo, p.Hi, p.P)
+	}
+	if !p.Contains(0.9) || p.Contains(0.5) {
+		t.Error("Contains misbehaves")
+	}
+	if !strings.Contains(p.String(), "0.9000") {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+func TestProportionEdges(t *testing.T) {
+	if p := NewProportion(0, 0); p.Trials != 0 || p.P != 0 {
+		t.Errorf("zero-trials proportion = %+v", p)
+	}
+	p := NewProportion(0, 50)
+	if p.Lo != 0 || p.P != 0 {
+		t.Errorf("all-failures proportion = %+v", p)
+	}
+	if p.Hi <= 0 {
+		t.Error("Wilson upper bound should exceed 0 for 0/50")
+	}
+	p = NewProportion(50, 50)
+	if p.Hi != 1 || p.P != 1 {
+		t.Errorf("all-successes proportion = %+v", p)
+	}
+	if p.Lo >= 1 {
+		t.Error("Wilson lower bound should be below 1 for 50/50")
+	}
+}
+
+// TestProportionCoverageQuick: the interval always contains the point
+// estimate and stays within [0,1].
+func TestProportionCoverageQuick(t *testing.T) {
+	f := func(s, n uint16) bool {
+		trials := int(n%1000) + 1
+		successes := int(s) % (trials + 1)
+		p := NewProportion(successes, trials)
+		return p.Lo >= 0 && p.Hi <= 1 && p.Lo <= p.P && p.P <= p.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProportionShrinksWithN: more trials narrow the interval.
+func TestProportionShrinksWithN(t *testing.T) {
+	small := NewProportion(50, 100)
+	large := NewProportion(5000, 10000)
+	if large.Hi-large.Lo >= small.Hi-small.Lo {
+		t.Errorf("interval did not shrink: n=100 width %v, n=10000 width %v",
+			small.Hi-small.Lo, large.Hi-large.Lo)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.999, 10, 42} {
+		h.Add(x)
+	}
+	if h.Count() != 8 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Errorf("under=%d over=%d", h.Underflow, h.Overflow)
+	}
+	if h.Buckets[0] != 2 { // 0 and 1.9
+		t.Errorf("bucket0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 || h.Buckets[2] != 1 || h.Buckets[4] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	out := h.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "overflow 2") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // invalid: coerced to 1 bucket over [5,6)
+	h.Add(5)
+	if h.Buckets[0] != 1 {
+		t.Errorf("degenerate histogram = %+v", h)
+	}
+}

@@ -1,0 +1,297 @@
+// Package tcpnet runs the protocol nodes over real TCP connections. It
+// implements core.Env with the system clock and a connection manager that
+// lazily dials peers, so the exact same Host/Manager state machines that
+// run in the simulator also serve live traffic (cmd/acnode).
+//
+// Transport semantics match the paper's network assumption: delivery is not
+// guaranteed. Send failures (peer down, connection reset) silently drop the
+// message; the protocol's retry/retransmission machinery provides liveness.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"wanac/internal/core"
+	"wanac/internal/wire"
+)
+
+// maxFrame bounds incoming frame size (1 MiB) to stop a misbehaving peer
+// from exhausting memory.
+const maxFrame = 1 << 20
+
+// Handler receives messages from the network (same shape as the
+// simulator's handler).
+type Handler interface {
+	HandleMessage(from wire.NodeID, msg wire.Message)
+}
+
+// Node is one TCP endpoint hosting a protocol node.
+type Node struct {
+	id       wire.NodeID
+	listener net.Listener
+
+	mu       sync.Mutex
+	peers    map[wire.NodeID]string // address book
+	conns    map[wire.NodeID]net.Conn
+	allConns map[net.Conn]struct{} // every live conn, for shutdown
+	handler  Handler
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+var _ core.Env = (*Node)(nil)
+
+// Listen starts a node listening on addr ("127.0.0.1:0" picks a free port).
+func Listen(id wire.NodeID, addr string) (*Node, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet listen: %w", err)
+	}
+	n := &Node{
+		id:       id,
+		listener: l,
+		peers:    make(map[wire.NodeID]string),
+		conns:    make(map[wire.NodeID]net.Conn),
+		allConns: make(map[net.Conn]struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// ID returns the node id.
+func (n *Node) ID() wire.NodeID { return n.id }
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string { return n.listener.Addr().String() }
+
+// SetHandler installs the protocol node that receives inbound messages.
+// Must be called before peers start sending.
+func (n *Node) SetHandler(h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = h
+}
+
+// AddPeer registers the address for a node id.
+func (n *Node) AddPeer(id wire.NodeID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = addr
+}
+
+// Now implements core.Env with the system clock.
+func (n *Node) Now() time.Time { return time.Now() }
+
+// SetTimer implements core.Env with time.AfterFunc.
+func (n *Node) SetTimer(d time.Duration, fn func()) core.TimerHandle {
+	return timerHandle{t: time.AfterFunc(d, fn)}
+}
+
+type timerHandle struct{ t *time.Timer }
+
+func (h timerHandle) Stop() bool { return h.t.Stop() }
+
+// Send implements core.Env: best-effort delivery to the named peer. Unknown
+// peers and I/O errors drop the message silently (unreliable network).
+func (n *Node) Send(to wire.NodeID, msg wire.Message) {
+	conn, err := n.conn(to)
+	if err != nil {
+		return
+	}
+	frame, err := encodeFrame(n.id, msg)
+	if err != nil {
+		return
+	}
+	if _, err := conn.Write(frame); err != nil {
+		n.dropConn(to, conn)
+	}
+}
+
+// conn returns (dialing if necessary) the connection to a peer.
+func (n *Node) conn(to wire.NodeID) (net.Conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, errors.New("tcpnet: node closed")
+	}
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := n.peers[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: unknown peer %s", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		c.Close()
+		return nil, errors.New("tcpnet: node closed")
+	}
+	if existing, ok := n.conns[to]; ok { // lost the race: reuse the winner
+		n.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	n.conns[to] = c
+	n.allConns[c] = struct{}{}
+	n.mu.Unlock()
+	// Responses may come back on the same connection.
+	n.wg.Add(1)
+	go n.readLoop(c, to)
+	return c, nil
+}
+
+func (n *Node) dropConn(id wire.NodeID, c net.Conn) {
+	n.mu.Lock()
+	if cur, ok := n.conns[id]; ok && cur == c {
+		delete(n.conns, id)
+	}
+	n.mu.Unlock()
+	c.Close()
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			c.Close()
+			return
+		}
+		n.allConns[c] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(c, "")
+	}
+}
+
+// readLoop decodes frames from one connection. For accepted connections the
+// peer id comes from the frames themselves; the first frame also registers
+// the connection for replies.
+func (n *Node) readLoop(c net.Conn, expect wire.NodeID) {
+	defer n.wg.Done()
+	defer func() {
+		c.Close()
+		n.mu.Lock()
+		delete(n.allConns, c)
+		// Drop routing entries that point at this dead connection so the
+		// next Send redials (or uses a fresher inbound connection) instead
+		// of writing into a closed socket.
+		for id, cur := range n.conns {
+			if cur == c {
+				delete(n.conns, id)
+			}
+		}
+		n.mu.Unlock()
+	}()
+	for {
+		from, msg, err := readFrame(c)
+		if err != nil {
+			if expect != "" {
+				n.dropConn(expect, c)
+			}
+			return
+		}
+		if expect != "" && from != expect {
+			return // peer lied about its identity on a dialed connection
+		}
+		n.mu.Lock()
+		h := n.handler
+		if _, ok := n.conns[from]; !ok && !n.closed {
+			// Remember the inbound connection for replies to this peer.
+			n.conns[from] = c
+		}
+		n.mu.Unlock()
+		if h != nil {
+			h.HandleMessage(from, msg)
+		}
+	}
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]net.Conn, 0, len(n.allConns))
+	for c := range n.allConns {
+		conns = append(conns, c)
+	}
+	n.conns = make(map[wire.NodeID]net.Conn)
+	n.allConns = make(map[net.Conn]struct{})
+	n.mu.Unlock()
+
+	err := n.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+// Frame format: u32 big-endian length, then uvarint-prefixed sender id,
+// then the binary-marshaled message.
+func encodeFrame(from wire.NodeID, msg wire.Message) ([]byte, error) {
+	body, err := wire.Marshal(msg)
+	if err != nil {
+		return nil, err
+	}
+	id := []byte(from)
+	payload := make([]byte, 0, 4+1+len(id)+len(body))
+	payload = append(payload, 0, 0, 0, 0)
+	payload = binary.AppendUvarint(payload, uint64(len(id)))
+	payload = append(payload, id...)
+	payload = append(payload, body...)
+	if len(payload)-4 > maxFrame {
+		return nil, fmt.Errorf("tcpnet: frame too large (%d bytes)", len(payload)-4)
+	}
+	binary.BigEndian.PutUint32(payload[:4], uint32(len(payload)-4))
+	return payload, nil
+}
+
+func readFrame(r io.Reader) (wire.NodeID, wire.Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", nil, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size == 0 || size > maxFrame {
+		return "", nil, fmt.Errorf("tcpnet: bad frame size %d", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", nil, err
+	}
+	idLen, nn := binary.Uvarint(buf)
+	if nn <= 0 || idLen > uint64(len(buf)-nn) {
+		return "", nil, errors.New("tcpnet: bad sender id")
+	}
+	from := wire.NodeID(buf[nn : nn+int(idLen)])
+	msg, err := wire.Unmarshal(buf[nn+int(idLen):])
+	if err != nil {
+		return "", nil, err
+	}
+	return from, msg, nil
+}

@@ -1,0 +1,245 @@
+package tcpnet
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"wanac/internal/core"
+	"wanac/internal/wire"
+)
+
+type collector struct {
+	mu  sync.Mutex
+	got []wire.Envelope
+}
+
+func (c *collector) HandleMessage(from wire.NodeID, msg wire.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, wire.Envelope{From: from, Msg: msg})
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func (c *collector) last() wire.Envelope {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.got[len(c.got)-1]
+}
+
+func listen(t *testing.T, id wire.NodeID) *Node {
+	t.Helper()
+	n, err := Listen(id, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not met within deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frame, err := encodeFrame("node-a", wire.Query{App: "x", User: "u", Right: wire.RightUse, Nonce: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, msg, err := readFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "node-a" {
+		t.Errorf("from = %q", from)
+	}
+	if q, ok := msg.(wire.Query); !ok || q.Nonce != 3 {
+		t.Errorf("msg = %#v", msg)
+	}
+}
+
+func TestFrameRejectsBadSizes(t *testing.T) {
+	if _, _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Error("zero-size frame accepted")
+	}
+	if _, _, err := readFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	if _, _, err := readFrame(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestSendReceive(t *testing.T) {
+	a := listen(t, "a")
+	b := listen(t, "b")
+	rec := &collector{}
+	b.SetHandler(rec)
+	a.AddPeer("b", b.Addr())
+
+	a.Send("b", wire.Heartbeat{Nonce: 42})
+	waitFor(t, func() bool { return rec.count() == 1 })
+	env := rec.last()
+	if env.From != "a" {
+		t.Errorf("from = %q", env.From)
+	}
+	if hb, ok := env.Msg.(wire.Heartbeat); !ok || hb.Nonce != 42 {
+		t.Errorf("msg = %#v", env.Msg)
+	}
+}
+
+func TestReplyOverInboundConnection(t *testing.T) {
+	a := listen(t, "a")
+	b := listen(t, "b")
+	recA := &collector{}
+	a.SetHandler(recA)
+	// b never learns a's address: it replies over the inbound connection.
+	b.SetHandler(HandlerFunc(func(from wire.NodeID, msg wire.Message) {
+		if hb, ok := msg.(wire.Heartbeat); ok {
+			b.Send(from, wire.HeartbeatAck{Nonce: hb.Nonce})
+		}
+	}))
+	a.AddPeer("b", b.Addr())
+	a.Send("b", wire.Heartbeat{Nonce: 7})
+	waitFor(t, func() bool { return recA.count() == 1 })
+	if ack, ok := recA.last().Msg.(wire.HeartbeatAck); !ok || ack.Nonce != 7 {
+		t.Errorf("reply = %#v", recA.last().Msg)
+	}
+}
+
+func TestSendToUnknownPeerDrops(t *testing.T) {
+	a := listen(t, "a")
+	a.Send("ghost", wire.Heartbeat{}) // must not panic or block
+}
+
+func TestSendAfterPeerClosedDrops(t *testing.T) {
+	a := listen(t, "a")
+	b := listen(t, "b")
+	a.AddPeer("b", b.Addr())
+	a.Send("b", wire.Heartbeat{Nonce: 1})
+	b.Close()
+	time.Sleep(20 * time.Millisecond)
+	// Both sends must be safe: first may hit the dead cached conn, second
+	// fails to redial.
+	a.Send("b", wire.Heartbeat{Nonce: 2})
+	a.Send("b", wire.Heartbeat{Nonce: 3})
+}
+
+// TestProtocolOverTCP runs the full access-control protocol across real
+// sockets: three managers, one host, grant + check + revoke.
+func TestProtocolOverTCP(t *testing.T) {
+	const app wire.AppID = "stocks"
+
+	mgrNodes := make([]*Node, 3)
+	mgrIDs := make([]wire.NodeID, 3)
+	for i := range mgrNodes {
+		mgrIDs[i] = wire.NodeID([]string{"m0", "m1", "m2"}[i])
+		mgrNodes[i] = listen(t, mgrIDs[i])
+	}
+	hostNode := listen(t, "h0")
+
+	// Everyone knows everyone's address.
+	all := append([]*Node{hostNode}, mgrNodes...)
+	for _, n := range all {
+		for _, p := range all {
+			if p != n {
+				n.AddPeer(p.ID(), p.Addr())
+			}
+		}
+	}
+
+	managers := make([]*core.Manager, 3)
+	for i, node := range mgrNodes {
+		managers[i] = core.NewManager(node.ID(), node, nil, nil)
+		if err := managers[i].AddApp(app, core.ManagerAppConfig{
+			Peers:       mgrIDs,
+			CheckQuorum: 2,
+			Te:          5 * time.Second,
+			UpdateRetry: 100 * time.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		managers[i].Seed(app, "root", wire.RightManage)
+		managers[i].Seed(app, "alice", wire.RightUse)
+		node.SetHandler(managers[i])
+	}
+
+	host := core.NewHost("h0", hostNode, nil, nil)
+	if err := host.RegisterApp(app, core.HostAppConfig{
+		Managers: mgrIDs,
+		Policy: core.Policy{
+			CheckQuorum: 2, Te: 5 * time.Second,
+			QueryTimeout: 300 * time.Millisecond, MaxAttempts: 3,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hostNode.SetHandler(host)
+
+	// Check over real TCP.
+	decCh := make(chan core.Decision, 1)
+	host.Check(app, "alice", wire.RightUse, func(d core.Decision) { decCh <- d })
+	select {
+	case d := <-decCh:
+		if !d.Allowed || d.Confirmations < 2 {
+			t.Fatalf("decision = %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("check timed out")
+	}
+
+	// Revoke via manager 0; the notice must flush the host cache.
+	replyCh := make(chan wire.AdminReply, 1)
+	managers[0].Submit(wire.AdminOp{
+		Op: wire.OpRevoke, App: app, User: "alice", Right: wire.RightUse, Issuer: "root",
+	}, func(r wire.AdminReply) { replyCh <- r })
+	select {
+	case r := <-replyCh:
+		if !r.QuorumReached {
+			t.Fatalf("revoke reply = %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("revoke timed out")
+	}
+
+	waitFor(t, func() bool { return host.CacheLen() == 0 })
+
+	host.Check(app, "alice", wire.RightUse, func(d core.Decision) { decCh <- d })
+	select {
+	case d := <-decCh:
+		if d.Allowed {
+			t.Fatalf("post-revoke decision = %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-revoke check timed out")
+	}
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(from wire.NodeID, msg wire.Message)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(from wire.NodeID, msg wire.Message) { f(from, msg) }
+
+func TestCloseIdempotent(t *testing.T) {
+	n := listen(t, "x")
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package trace records structured protocol events. Nodes emit events
+// through a Tracer; the simulator installs a collecting tracer for
+// experiments (message accounting, revocation-latency measurement) while
+// production deployments default to the no-op tracer.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"wanac/internal/wire"
+)
+
+// EventType classifies protocol events.
+type EventType uint8
+
+// Event types emitted by the protocol nodes.
+const (
+	// EventAccessAllowed: a host allowed an Invoke.
+	EventAccessAllowed EventType = iota + 1
+	// EventAccessDenied: a host rejected an Invoke.
+	EventAccessDenied
+	// EventAccessDefault: a host allowed via the high-availability rule
+	// after R failed verification attempts (Figure 4).
+	EventAccessDefault
+	// EventCacheHit: access decided from a fresh cached entry.
+	EventCacheHit
+	// EventCacheExpired: a cached entry was discarded on lookup.
+	EventCacheExpired
+	// EventQuerySent: host sent a Query to a manager.
+	EventQuerySent
+	// EventQueryTimeout: a query round timed out without quorum.
+	EventQueryTimeout
+	// EventGrantCached: host cached a manager grant.
+	EventGrantCached
+	// EventRevokeApplied: host flushed a cached entry due to RevokeNotice.
+	EventRevokeApplied
+	// EventUpdateIssued: a manager accepted an AdminOp.
+	EventUpdateIssued
+	// EventUpdateApplied: a manager applied a peer's update.
+	EventUpdateApplied
+	// EventUpdateQuorum: the issuing manager observed update-quorum acks.
+	EventUpdateQuorum
+	// EventFrozen: a manager entered the freeze state (§3.3).
+	EventFrozen
+	// EventUnfrozen: a manager left the freeze state.
+	EventUnfrozen
+	// EventSynced: a recovering manager completed state sync.
+	EventSynced
+)
+
+var eventNames = map[EventType]string{
+	EventAccessAllowed: "access-allowed",
+	EventAccessDenied:  "access-denied",
+	EventAccessDefault: "access-default",
+	EventCacheHit:      "cache-hit",
+	EventCacheExpired:  "cache-expired",
+	EventQuerySent:     "query-sent",
+	EventQueryTimeout:  "query-timeout",
+	EventGrantCached:   "grant-cached",
+	EventRevokeApplied: "revoke-applied",
+	EventUpdateIssued:  "update-issued",
+	EventUpdateApplied: "update-applied",
+	EventUpdateQuorum:  "update-quorum",
+	EventFrozen:        "frozen",
+	EventUnfrozen:      "unfrozen",
+	EventSynced:        "synced",
+}
+
+// String returns the event's stable name.
+func (t EventType) String() string {
+	if s, ok := eventNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("event-%d", uint8(t))
+}
+
+// Event is one protocol occurrence.
+type Event struct {
+	Time time.Time
+	Node wire.NodeID
+	Type EventType
+	App  wire.AppID
+	User wire.UserID
+	Note string
+}
+
+// String renders a single trace line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s", e.Time.Format("15:04:05.000"), e.Node, e.Type)
+	if e.App != "" {
+		fmt.Fprintf(&b, " app=%s", e.App)
+	}
+	if e.User != "" {
+		fmt.Fprintf(&b, " user=%s", e.User)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " %s", e.Note)
+	}
+	return b.String()
+}
+
+// Tracer receives protocol events.
+type Tracer interface {
+	Emit(e Event)
+}
+
+// Nop discards all events.
+type Nop struct{}
+
+var _ Tracer = Nop{}
+
+// Emit implements Tracer.
+func (Nop) Emit(Event) {}
+
+// Collector retains events in memory and counts them by type. It is safe
+// for concurrent use (the live runtime emits from several goroutines).
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+	counts map[EventType]int
+	// Cap bounds memory; once exceeded, older events are discarded but
+	// counts keep accumulating. Zero means unbounded.
+	Cap int
+}
+
+var _ Tracer = (*Collector)(nil)
+
+// NewCollector returns an empty collector with the given retention cap
+// (0 = unbounded).
+func NewCollector(cap int) *Collector {
+	return &Collector{counts: make(map[EventType]int), Cap: cap}
+}
+
+// Emit implements Tracer.
+func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[e.Type]++
+	c.events = append(c.events, e)
+	if c.Cap > 0 && len(c.events) > c.Cap {
+		drop := len(c.events) - c.Cap
+		c.events = append(c.events[:0], c.events[drop:]...)
+	}
+}
+
+// Count returns how many events of type t were emitted (including ones no
+// longer retained).
+func (c *Collector) Count(t EventType) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[t]
+}
+
+// Events returns a copy of the retained events.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Filter returns retained events matching type t.
+func (c *Collector) Filter(t EventType) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Event
+	for _, e := range c.events {
+		if e.Type == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset clears events and counts.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = nil
+	c.counts = make(map[EventType]int)
+}
+
+// Writer is a Tracer that streams each event as one line to an io.Writer
+// (log files, stderr). Writes are serialized; write errors are dropped —
+// tracing must never take the protocol down.
+type Writer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+var _ Tracer = (*Writer)(nil)
+
+// NewWriter returns a line-streaming tracer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Emit implements Tracer.
+func (t *Writer) Emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintln(t.w, e.String())
+}

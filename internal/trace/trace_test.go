@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wanac/internal/wire"
+)
+
+func TestEventTypeString(t *testing.T) {
+	if EventAccessAllowed.String() != "access-allowed" {
+		t.Errorf("got %q", EventAccessAllowed.String())
+	}
+	if got := EventType(200).String(); got != "event-200" {
+		t.Errorf("unknown type string = %q", got)
+	}
+	// Every defined type has a name.
+	for et := EventAccessAllowed; et <= EventSynced; et++ {
+		if strings.HasPrefix(et.String(), "event-") {
+			t.Errorf("type %d missing name", et)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		Time: time.Date(2000, 1, 1, 12, 30, 45, 0, time.UTC),
+		Node: "h0", Type: EventAccessDenied, App: "stocks", User: "alice", Note: "revoked",
+	}
+	s := e.String()
+	for _, frag := range []string{"12:30:45", "h0", "access-denied", "app=stocks", "user=alice", "revoked"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("event string %q missing %q", s, frag)
+		}
+	}
+	bare := Event{Node: "m1", Type: EventFrozen}.String()
+	if strings.Contains(bare, "app=") || strings.Contains(bare, "user=") {
+		t.Errorf("bare event string has empty fields: %q", bare)
+	}
+}
+
+func TestNopTracer(t *testing.T) {
+	Nop{}.Emit(Event{Type: EventFrozen}) // must not panic
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector(0)
+	c.Emit(Event{Node: "a", Type: EventCacheHit})
+	c.Emit(Event{Node: "a", Type: EventCacheHit})
+	c.Emit(Event{Node: "b", Type: EventQuerySent})
+
+	if c.Count(EventCacheHit) != 2 || c.Count(EventQuerySent) != 1 || c.Count(EventFrozen) != 0 {
+		t.Error("counts wrong")
+	}
+	if got := len(c.Events()); got != 3 {
+		t.Errorf("Events() len = %d", got)
+	}
+	if got := len(c.Filter(EventCacheHit)); got != 2 {
+		t.Errorf("Filter len = %d", got)
+	}
+	c.Reset()
+	if c.Count(EventCacheHit) != 0 || len(c.Events()) != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestCollectorCap(t *testing.T) {
+	c := NewCollector(3)
+	for i := 0; i < 10; i++ {
+		c.Emit(Event{Type: EventQuerySent, User: wire.UserID(rune('a' + i))})
+	}
+	if got := len(c.Events()); got != 3 {
+		t.Errorf("retained %d, want cap 3", got)
+	}
+	if c.Count(EventQuerySent) != 10 {
+		t.Errorf("Count = %d, want 10 despite cap", c.Count(EventQuerySent))
+	}
+	// Retained events are the most recent ones.
+	evs := c.Events()
+	if evs[len(evs)-1].User != "j" {
+		t.Errorf("last retained = %q", evs[len(evs)-1].User)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(100)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			c.Emit(Event{Type: EventCacheHit})
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		c.Events()
+		c.Count(EventCacheHit)
+	}
+	<-done
+	if c.Count(EventCacheHit) != 1000 {
+		t.Errorf("Count = %d", c.Count(EventCacheHit))
+	}
+}
+
+func TestWriterTracer(t *testing.T) {
+	var buf strings.Builder
+	w := NewWriter(&buf)
+	w.Emit(Event{Node: "h0", Type: EventCacheHit, App: "a"})
+	w.Emit(Event{Node: "m1", Type: EventFrozen})
+	out := buf.String()
+	if !strings.Contains(out, "cache-hit") || !strings.Contains(out, "frozen") {
+		t.Errorf("writer output = %q", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("want one line per event, got %q", out)
+	}
+}
+
+func TestWriterTracerConcurrent(t *testing.T) {
+	var buf strings.Builder
+	w := NewWriter(&safeBuilder{b: &buf})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			w.Emit(Event{Type: EventQuerySent})
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		w.Emit(Event{Type: EventCacheHit})
+	}
+	<-done
+}
+
+// safeBuilder makes strings.Builder usable from the Writer's serialized
+// writes without racing the test's final read.
+type safeBuilder struct {
+	mu sync.Mutex
+	b  *strings.Builder
+}
+
+func (s *safeBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}

@@ -1,0 +1,202 @@
+// Package udpnet runs the protocol nodes over UDP — the transport that most
+// literally matches the paper's network model: unreliable, unordered,
+// connectionless point-to-point datagrams (§2.2). Nothing is retransmitted
+// at this layer; the protocol's own retry/retransmission machinery provides
+// liveness, exactly as designed.
+//
+// Each datagram carries one frame: uvarint-length sender id, then the
+// binary-marshaled message. Frames larger than the configured MTU are
+// dropped on send (the protocol's messages are all far below 1 KiB except
+// pathological sync transfers; those deployments should use tcpnet).
+package udpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"wanac/internal/core"
+	"wanac/internal/wire"
+)
+
+// DefaultMTU bounds datagram payloads. 8 KiB keeps well under typical
+// loopback/jumbo limits while fitting every protocol message.
+const DefaultMTU = 8 << 10
+
+// Handler receives messages from the network.
+type Handler interface {
+	HandleMessage(from wire.NodeID, msg wire.Message)
+}
+
+// Node is one UDP endpoint hosting a protocol node.
+type Node struct {
+	id   wire.NodeID
+	conn *net.UDPConn
+	mtu  int
+
+	mu      sync.Mutex
+	peers   map[wire.NodeID]*net.UDPAddr
+	static  map[wire.NodeID]bool // explicitly configured; never auto-relearned
+	handler Handler
+	closed  bool
+
+	done chan struct{}
+}
+
+var _ core.Env = (*Node)(nil)
+
+// Listen binds a UDP socket ("127.0.0.1:0" picks a free port).
+func Listen(id wire.NodeID, addr string) (*Node, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet resolve: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet listen: %w", err)
+	}
+	n := &Node{
+		id:     id,
+		conn:   conn,
+		mtu:    DefaultMTU,
+		peers:  make(map[wire.NodeID]*net.UDPAddr),
+		static: make(map[wire.NodeID]bool),
+		done:   make(chan struct{}),
+	}
+	go n.readLoop()
+	return n, nil
+}
+
+// ID returns the node id.
+func (n *Node) ID() wire.NodeID { return n.id }
+
+// Addr returns the bound address.
+func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
+
+// SetHandler installs the protocol node receiving inbound messages.
+func (n *Node) SetHandler(h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = h
+}
+
+// AddPeer registers a peer's address.
+func (n *Node) AddPeer(id wire.NodeID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("udpnet peer %s: %w", id, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = ua
+	n.static[id] = true
+	return nil
+}
+
+// Now implements core.Env.
+func (n *Node) Now() time.Time { return time.Now() }
+
+// SetTimer implements core.Env.
+func (n *Node) SetTimer(d time.Duration, fn func()) core.TimerHandle {
+	return timerHandle{t: time.AfterFunc(d, fn)}
+}
+
+type timerHandle struct{ t *time.Timer }
+
+func (h timerHandle) Stop() bool { return h.t.Stop() }
+
+// Send implements core.Env: fire-and-forget datagram. Unknown peers,
+// oversized frames, and socket errors all silently drop the message — UDP
+// semantics, which the protocol is built to tolerate.
+func (n *Node) Send(to wire.NodeID, msg wire.Message) {
+	n.mu.Lock()
+	addr, ok := n.peers[to]
+	closed := n.closed
+	n.mu.Unlock()
+	if !ok || closed {
+		return
+	}
+	frame, err := encodeFrame(n.id, msg)
+	if err != nil || len(frame) > n.mtu {
+		return
+	}
+	_, _ = n.conn.WriteToUDP(frame, addr)
+}
+
+// readLoop dispatches inbound datagrams until the socket closes. The
+// sender's claimed id routes replies through the address book; ids without
+// a statically configured address are learned (and relearned) from each
+// datagram's source address.
+func (n *Node) readLoop() {
+	defer close(n.done)
+	buf := make([]byte, 64<<10)
+	for {
+		size, src, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		from, msg, err := decodeFrame(buf[:size])
+		if err != nil {
+			continue // malformed datagram: drop
+		}
+		n.mu.Lock()
+		h := n.handler
+		if !n.closed && !n.static[from] {
+			// For ids without a configured address, track the latest
+			// observed source so replies follow peers across rebinds
+			// (mobile hosts, restarted tools). Statically configured peers
+			// are never relearned, so a spoofed datagram cannot redirect
+			// manager traffic. Address learning is otherwise
+			// unauthenticated, like UDP itself; deployments needing sender
+			// authenticity must layer auth.Seal.
+			cp := *src
+			n.peers[from] = &cp
+		}
+		n.mu.Unlock()
+		if h != nil {
+			h.HandleMessage(from, msg)
+		}
+	}
+}
+
+// Close shuts the socket and waits for the read loop.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	err := n.conn.Close()
+	<-n.done
+	return err
+}
+
+func encodeFrame(from wire.NodeID, msg wire.Message) ([]byte, error) {
+	body, err := wire.Marshal(msg)
+	if err != nil {
+		return nil, err
+	}
+	id := []byte(from)
+	frame := binary.AppendUvarint(make([]byte, 0, 1+len(id)+len(body)), uint64(len(id)))
+	frame = append(frame, id...)
+	frame = append(frame, body...)
+	return frame, nil
+}
+
+func decodeFrame(data []byte) (wire.NodeID, wire.Message, error) {
+	idLen, nn := binary.Uvarint(data)
+	if nn <= 0 || idLen > uint64(len(data)-nn) {
+		return "", nil, errors.New("udpnet: bad sender id")
+	}
+	from := wire.NodeID(data[nn : nn+int(idLen)])
+	msg, err := wire.Unmarshal(data[nn+int(idLen):])
+	if err != nil {
+		return "", nil, err
+	}
+	return from, msg, nil
+}

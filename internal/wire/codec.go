@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// The gob codec is the general-purpose encoding used by the TCP transport.
+// A compact hand-rolled binary codec for the hot-path messages lives in
+// binary.go; the gob codec handles everything and is the fallback.
+
+func init() {
+	// Concrete message types must be registered so they can travel inside
+	// the Envelope.Msg interface field. Registration is deterministic and
+	// side-effect free, which keeps this init acceptable.
+	gob.Register(Query{})
+	gob.Register(Response{})
+	gob.Register(RevokeNotice{})
+	gob.Register(RevokeAck{})
+	gob.Register(Update{})
+	gob.Register(UpdateAck{})
+	gob.Register(SyncRequest{})
+	gob.Register(SyncResponse{})
+	gob.Register(Heartbeat{})
+	gob.Register(HeartbeatAck{})
+	gob.Register(Invoke{})
+	gob.Register(InvokeReply{})
+	gob.Register(AdminOp{})
+	gob.Register(AdminReply{})
+	gob.Register(ResolveRequest{})
+	gob.Register(ResolveResponse{})
+	gob.Register(Sealed{})
+	gob.Register(Gossip{})
+}
+
+// EncodeEnvelope serializes an envelope with gob.
+func EncodeEnvelope(env Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return nil, fmt.Errorf("encode envelope: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEnvelope deserializes an envelope encoded by EncodeEnvelope.
+func DecodeEnvelope(data []byte) (Envelope, error) {
+	var env Envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return Envelope{}, fmt.Errorf("decode envelope: %w", err)
+	}
+	return env, nil
+}

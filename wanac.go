@@ -1,0 +1,193 @@
+// Package wanac is a from-scratch implementation of the wide-area access
+// control protocol of Hiltunen & Schlichting, "Access Control in Wide-Area
+// Networks" (ICDCS 1997).
+//
+// The protocol keeps authoritative access control lists at a small set of
+// manager nodes, caches grants at application hosts with time-based
+// expiration (revocation is guaranteed within a bound Te even across
+// network partitions), and uses check/update quorums so each application
+// can tune its own point on the security/availability/performance tradeoff
+// via four parameters: the number of managers M, the check quorum C, the
+// expiration bound Te, and the attempt count R.
+//
+// This package is the public facade. Three ways in:
+//
+//   - Simulation: NewSimulation builds a complete deployment (managers,
+//     hosts, users, partitions) on a deterministic virtual-time network —
+//     see examples/quickstart.
+//   - Live TCP: ListenTCP creates a transport node whose Env drives the
+//     same Host/Manager state machines over real sockets — see cmd/acnode.
+//   - Analysis: PA, PS, Curve, and BestC evaluate the §4.1 formulas for
+//     parameter planning.
+package wanac
+
+import (
+	"time"
+
+	"wanac/internal/auth"
+	"wanac/internal/core"
+	"wanac/internal/quorum"
+	"wanac/internal/sim"
+	"wanac/internal/simnet"
+	"wanac/internal/tcpnet"
+	"wanac/internal/trace"
+	"wanac/internal/udpnet"
+	"wanac/internal/vclock"
+	"wanac/internal/wire"
+)
+
+// Identifier and message types.
+type (
+	// NodeID identifies a protocol participant.
+	NodeID = wire.NodeID
+	// AppID names an application under access control.
+	AppID = wire.AppID
+	// UserID identifies an authenticated user.
+	UserID = wire.UserID
+	// Right is an access right: RightUse or RightManage.
+	Right = wire.Right
+	// AdminOp is an Add/Revoke command (§2.3).
+	AdminOp = wire.AdminOp
+	// AdminReply reports acceptance and update-quorum progress.
+	AdminReply = wire.AdminReply
+)
+
+// The two rights of the paper's model (§2.1).
+const (
+	RightUse    = wire.RightUse
+	RightManage = wire.RightManage
+)
+
+// Admin operations.
+const (
+	OpAdd    = wire.OpAdd
+	OpRevoke = wire.OpRevoke
+)
+
+// Core protocol types.
+type (
+	// Host is the application-host node (Figures 2-4).
+	Host = core.Host
+	// Manager is the manager node (§3.1, §3.3-3.4).
+	Manager = core.Manager
+	// Policy is a host-side tradeoff configuration.
+	Policy = core.Policy
+	// HostAppConfig wires an application into a host.
+	HostAppConfig = core.HostAppConfig
+	// ManagerAppConfig wires an application into a manager.
+	ManagerAppConfig = core.ManagerAppConfig
+	// Decision is the outcome of an access check.
+	Decision = core.Decision
+	// Env abstracts clock, transport, and timers for a node.
+	Env = core.Env
+	// Application is the wrapped application component (Figure 1).
+	Application = core.Application
+	// ApplicationFunc adapts a function to Application.
+	ApplicationFunc = core.ApplicationFunc
+	// Tracer receives protocol events.
+	Tracer = trace.Tracer
+	// Keyring maps users to signature verifiers.
+	Keyring = auth.Keyring
+)
+
+// Policy presets (§2.3, §4.1).
+var (
+	// SecurityFirst denies when the check quorum is unreachable.
+	SecurityFirst = core.SecurityFirst
+	// AvailabilityFirst allows by default after R failed attempts
+	// (Figure 4).
+	AvailabilityFirst = core.AvailabilityFirst
+	// Balanced picks C near M/2 so PA and PS both stay near 1.
+	Balanced = core.Balanced
+)
+
+// NewHost creates an application-host node. tracer and keyring may be nil.
+func NewHost(id NodeID, env Env, tracer Tracer, keyring *Keyring) *Host {
+	return core.NewHost(id, env, tracer, keyring)
+}
+
+// NewManager creates a manager node. tracer and keyring may be nil.
+func NewManager(id NodeID, env Env, tracer Tracer, keyring *Keyring) *Manager {
+	return core.NewManager(id, env, tracer, keyring)
+}
+
+// NewKeyring returns an empty signature keyring.
+func NewKeyring() *Keyring { return auth.NewKeyring() }
+
+// Simulation types.
+type (
+	// Simulation is a fully wired virtual-time deployment.
+	Simulation = sim.World
+	// SimConfig describes the deployment to build.
+	SimConfig = sim.Config
+	// NetConfig parameterizes the simulated network.
+	NetConfig = simnet.Config
+)
+
+// NewSimulation builds a simulated deployment: M managers with seeded ACLs,
+// hosts enforcing the policy, an optional name service, all on a
+// deterministic discrete-event network. Virtual time advances only through
+// the returned world's Run/CheckSync helpers, so hours of protocol time
+// simulate in milliseconds.
+func NewSimulation(cfg SimConfig) (*Simulation, error) { return sim.Build(cfg) }
+
+// SimManagerID and SimHostID name the nodes a Simulation creates.
+var (
+	SimManagerID = sim.ManagerID
+	SimHostID    = sim.HostID
+)
+
+// TCPNode is a live TCP transport endpoint implementing Env.
+type TCPNode = tcpnet.Node
+
+// ListenTCP starts a TCP transport node; pass it as the Env of a Host or
+// Manager and register that node with SetHandler.
+func ListenTCP(id NodeID, addr string) (*TCPNode, error) { return tcpnet.Listen(id, addr) }
+
+// UDPNode is a live UDP transport endpoint implementing Env — the most
+// literal realization of the paper's unreliable network model (§2.2):
+// nothing below the protocol retransmits.
+type UDPNode = udpnet.Node
+
+// ListenUDP starts a UDP transport node.
+func ListenUDP(id NodeID, addr string) (*UDPNode, error) { return udpnet.Listen(id, addr) }
+
+// Analysis re-exports (§4.1).
+
+// PA returns the availability probability PA(C) for M managers with
+// per-pair inaccessibility pi.
+func PA(m, c int, pi float64) (float64, error) { return quorum.PA(m, c, pi) }
+
+// PS returns the security probability PS(C).
+func PS(m, c int, pi float64) (float64, error) { return quorum.PS(m, c, pi) }
+
+// TradeoffPoint is one (C, PA, PS) point of the Figure 5 curve.
+type TradeoffPoint = quorum.Point
+
+// Curve evaluates PA and PS for every C in [1, M] (Figure 5).
+func Curve(m int, pi float64) ([]TradeoffPoint, error) { return quorum.Curve(m, pi) }
+
+// BestC returns the check quorum maximizing min(PA, PS).
+func BestC(m int, pi float64) (TradeoffPoint, error) { return quorum.BestC(m, pi) }
+
+// UpdateQuorum returns M-C+1, the update quorum implied by check quorum C.
+func UpdateQuorum(m, c int) int { return quorum.UpdateQuorum(m, c) }
+
+// Planning types (§4.1's deployment guidance).
+type (
+	// PlanTargets are availability/security goals for PlanParams.
+	PlanTargets = quorum.Targets
+	// Plan is a recommended (M, C) configuration.
+	Plan = quorum.Plan
+)
+
+// PlanParams finds the smallest manager set and cheapest check quorum that
+// meet the targets, growing M when needed (§4.1: "increase the cardinality
+// of this set").
+func PlanParams(t PlanTargets) (Plan, error) { return quorum.PlanParams(t) }
+
+// ExpirationPeriod converts the revocation bound Te into the local cache
+// expiration period te = Te*b under clock-rate bound b (§3.2).
+func ExpirationPeriod(te time.Duration, b float64) time.Duration {
+	return vclock.ExpirationPeriod(te, b)
+}

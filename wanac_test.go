@@ -1,0 +1,141 @@
+package wanac
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestFacadeSimulation exercises the public API end to end: build a
+// deployment, plan parameters with the analysis helpers, check, revoke, and
+// observe the bound.
+func TestFacadeSimulation(t *testing.T) {
+	const te = 20 * time.Second
+	best, err := BestC(3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := NewSimulation(SimConfig{
+		App:      "demo",
+		Managers: 3,
+		Hosts:    2,
+		Policy: Policy{
+			CheckQuorum:  best.C,
+			Te:           te,
+			QueryTimeout: time.Second,
+			MaxAttempts:  3,
+		},
+		Te:    te,
+		Users: []UserID{"alice"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := world.CheckSync(0, "alice", RightUse, time.Minute)
+	if !ok || !d.Allowed {
+		t.Fatalf("check = %+v ok=%v", d, ok)
+	}
+	if d2, _ := world.CheckSync(0, "alice", RightUse, time.Minute); !d2.CacheHit {
+		t.Error("second check not cached")
+	}
+
+	reply, ok := world.Revoke(0, "alice", time.Minute)
+	if !ok || !reply.QuorumReached {
+		t.Fatalf("revoke = %+v", reply)
+	}
+	world.RunFor(te + time.Second)
+	if d, _ := world.CheckSync(1, "alice", RightUse, time.Minute); d.Allowed {
+		t.Fatalf("alice allowed after revoke + Te: %+v", d)
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	pa, err := PA(10, 5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pa-0.99985) > 1e-5 {
+		t.Errorf("PA = %v, want Table 1 value 0.99985", pa)
+	}
+	ps, err := PS(10, 5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ps-0.99911) > 1e-5 {
+		t.Errorf("PS = %v, want Table 1 value 0.99911", ps)
+	}
+	curve, err := Curve(10, 0.1)
+	if err != nil || len(curve) != 10 {
+		t.Fatalf("Curve: %v len=%d", err, len(curve))
+	}
+	if got := UpdateQuorum(10, 4); got != 7 {
+		t.Errorf("UpdateQuorum = %d", got)
+	}
+	if got := ExpirationPeriod(time.Minute, 0.5); got != 30*time.Second {
+		t.Errorf("ExpirationPeriod = %v", got)
+	}
+}
+
+func TestFacadePolicyPresets(t *testing.T) {
+	if p := SecurityFirst(2, time.Minute); p.DefaultAllow || p.CheckQuorum != 2 {
+		t.Errorf("SecurityFirst = %+v", p)
+	}
+	if p := AvailabilityFirst(3, time.Minute); !p.DefaultAllow {
+		t.Errorf("AvailabilityFirst = %+v", p)
+	}
+	if p := Balanced(8, time.Minute); p.CheckQuorum != 4 {
+		t.Errorf("Balanced = %+v", p)
+	}
+}
+
+// TestFacadeTCP runs the public TCP entry points end to end on localhost.
+func TestFacadeTCP(t *testing.T) {
+	mgrNode, err := ListenTCP("m0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgrNode.Close()
+	hostNode, err := ListenTCP("h0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hostNode.Close()
+	mgrNode.AddPeer("h0", hostNode.Addr())
+	hostNode.AddPeer("m0", mgrNode.Addr())
+
+	mgr := NewManager("m0", mgrNode, nil, nil)
+	if err := mgr.AddApp("demo", ManagerAppConfig{
+		Peers: []NodeID{"m0"}, CheckQuorum: 1, Te: time.Minute,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Seed("demo", "alice", RightUse)
+	mgrNode.SetHandler(mgr)
+
+	host := NewHost("h0", hostNode, nil, nil)
+	if err := host.RegisterApp("demo", HostAppConfig{
+		Managers: []NodeID{"m0"},
+		Policy:   Policy{CheckQuorum: 1, Te: time.Minute, QueryTimeout: time.Second, MaxAttempts: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hostNode.SetHandler(host)
+
+	ch := make(chan Decision, 1)
+	host.Check("demo", "alice", RightUse, func(d Decision) { ch <- d })
+	select {
+	case d := <-ch:
+		if !d.Allowed {
+			t.Fatalf("decision = %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out")
+	}
+}
+
+func TestFacadeKeyring(t *testing.T) {
+	k := NewKeyring()
+	if k.Len() != 0 {
+		t.Error("fresh keyring not empty")
+	}
+}
