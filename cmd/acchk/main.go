@@ -1,0 +1,66 @@
+// Command acchk runs the randomized protocol checker (internal/harness)
+// over a range of seeds and emits a JSON report: scenario counts, per-oracle
+// observation/violation totals, and — for failing seeds — the violations
+// plus a delta-debugged minimal event schedule and a replay command.
+//
+// Exit status is 0 when every oracle stayed silent, 1 otherwise, so the
+// command slots directly into CI:
+//
+//	acchk -seeds 100
+//	acchk -seeds 20 -start 1000 -v
+//	acchk -seeds 5 -inject-te -inject-drop-notices   # prove the oracles bite
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"wanac/internal/harness"
+)
+
+func main() {
+	var (
+		seeds     = flag.Int64("seeds", 100, "number of scenario seeds to run")
+		start     = flag.Int64("start", 1, "first seed")
+		minBudget = flag.Int("minimize", 80, "re-run budget for minimizing each failure (0 disables)")
+		verbose   = flag.Bool("v", false, "log one line per scenario to stderr")
+		injectTe  = flag.Bool("inject-te", false, "inject bug: managers hand out 10×Te grants")
+		injectRN  = flag.Bool("inject-drop-notices", false, "inject bug: drop RevokeNotice messages")
+	)
+	flag.Parse()
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "acchk: -seeds must be at least 1")
+		os.Exit(2)
+	}
+
+	opt := harness.Options{InflateTe: *injectTe, DropRevokeNotices: *injectRN}
+	var progress func(seed int64, res *harness.Result)
+	if *verbose {
+		progress = func(seed int64, res *harness.Result) {
+			if res == nil {
+				fmt.Fprintf(os.Stderr, "seed %d: build error\n", seed)
+				return
+			}
+			status := "ok"
+			if res.Failed() {
+				status = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
+			}
+			fmt.Fprintf(os.Stderr, "seed %d: %s  decisions=%d invokes=%d events=%d\n",
+				seed, status, res.Decisions, res.Invokes, len(res.Scenario.Events))
+		}
+	}
+
+	report := harness.RunSeeds(*start, *seeds, opt, *minBudget, progress)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "acchk: encode report: %v\n", err)
+		os.Exit(2)
+	}
+	if !report.Passed() {
+		os.Exit(1)
+	}
+}

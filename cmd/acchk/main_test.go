@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"wanac/internal/harness"
+)
+
+// TestAcchkCLI builds and runs the checker binary both clean (exit 0, JSON
+// report with all four oracles) and with an injected bug (exit 1, at least
+// one failure carrying a replay line).
+func TestAcchkCLI(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "acchk")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/acchk")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build acchk: %v\n%s", err, out)
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		out, err := exec.Command(bin, "-seeds", "5", "-minimize", "0").Output()
+		if err != nil {
+			t.Fatalf("acchk -seeds 5 failed: %v\n%s", err, out)
+		}
+		var report harness.SuiteReport
+		if err := json.Unmarshal(out, &report); err != nil {
+			t.Fatalf("report is not valid JSON: %v\n%s", err, out)
+		}
+		if report.Scenarios != 5 || len(report.Oracles) != 4 || len(report.Failures) != 0 {
+			t.Fatalf("unexpected report: %+v", report)
+		}
+	})
+
+	t.Run("injected-bug", func(t *testing.T) {
+		cmd := exec.Command(bin, "-seeds", "3", "-minimize", "20", "-inject-te", "-inject-drop-notices")
+		out, err := cmd.Output()
+		var exitErr *exec.ExitError
+		if err == nil || !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+			t.Fatalf("want exit code 1 on injected bug, got err=%v\n%s", err, out)
+		}
+		var report harness.SuiteReport
+		if err := json.Unmarshal(out, &report); err != nil {
+			t.Fatalf("report is not valid JSON: %v\n%s", err, out)
+		}
+		if len(report.Failures) == 0 {
+			t.Fatal("injected bug produced no failures in report")
+		}
+		f := report.Failures[0]
+		if f.Replay == "" || len(f.Violations) == 0 {
+			t.Fatalf("failure lacks replay artifact: %+v", f)
+		}
+	})
+}

@@ -1,17 +1,26 @@
 package wanac
 
 import (
+	"flag"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
 
+// updateGolden regenerates testdata/examples/*.golden from the current
+// example output: go test -run TestExamplesRun -update
+var updateGolden = flag.Bool("update", false, "rewrite example golden files from current output")
+
 // TestExamplesRun executes every example binary end to end (each uses the
-// virtual-time simulator, so runs complete in well under a second of wall
-// time) and sanity-checks a signature line of its output. This keeps the
-// examples compiling AND behaviourally correct as the library evolves.
+// virtual-time simulator, so runs are deterministic and complete in well
+// under a second of wall time) and compares the full stdout against a
+// golden file in testdata/examples/. A signature fragment is checked first
+// so a drifted example fails with a readable message before the full diff.
+// This keeps the examples compiling AND behaviourally correct — down to the
+// exact timeline they print — as the library evolves.
 func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("compiles and runs all examples")
@@ -26,12 +35,13 @@ func TestExamplesRun(t *testing.T) {
 		{"newspaper", "availability-first"},
 		{"mobile", "16:31 still offline (past Te)"},
 	}
+	root := moduleRoot(t)
 	for _, c := range cases {
 		c := c
 		t.Run(c.dir, func(t *testing.T) {
 			t.Parallel()
 			cmd := exec.Command("go", "run", "./examples/"+c.dir)
-			cmd.Dir = moduleRoot(t)
+			cmd.Dir = root
 			out, err := cmd.CombinedOutput()
 			if err != nil {
 				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
@@ -39,8 +49,45 @@ func TestExamplesRun(t *testing.T) {
 			if !strings.Contains(string(out), c.want) {
 				t.Errorf("example %s output missing %q:\n%s", c.dir, c.want, out)
 			}
+
+			goldenPath := filepath.Join(root, "testdata", "examples", c.dir+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, out, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			golden, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -run TestExamplesRun -update`): %v", err)
+			}
+			if string(out) != string(golden) {
+				t.Errorf("example %s output diverged from %s:\n%s",
+					c.dir, goldenPath, diffLines(string(golden), string(out)))
+			}
 		})
 	}
+}
+
+// diffLines renders a minimal first-divergence report: golden and got lines
+// around the first mismatch, enough to localize a drift without a diff tool.
+func diffLines(golden, got string) string {
+	gl := strings.Split(golden, "\n")
+	ol := strings.Split(got, "\n")
+	n := len(gl)
+	if len(ol) < n {
+		n = len(ol)
+	}
+	for i := 0; i < n; i++ {
+		if gl[i] != ol[i] {
+			return "first divergence at line " + strconv.Itoa(i+1) +
+				":\n  golden: " + gl[i] + "\n  got:    " + ol[i]
+		}
+	}
+	return "line counts differ: golden " + strconv.Itoa(len(gl)) + ", got " + strconv.Itoa(len(ol))
 }
 
 func moduleRoot(t *testing.T) string {

@@ -601,6 +601,16 @@ func (h *Host) SetCacheLimit(n int) { h.cache.SetMaxEntries(n) }
 // CacheLen reports the number of cached entries (for tests and metrics).
 func (h *Host) CacheLen() int { return h.cache.Len() }
 
+// CacheSnapshot returns the cached entries with their expiration limits
+// (export hook for invariant checkers: the harness's cache-hygiene oracle
+// asserts no entry survives a purge past its limit).
+func (h *Host) CacheSnapshot() []acl.Entry { return h.cache.Snapshot() }
+
+// LocalNow returns the host's local clock reading. Local clocks may drift
+// within the bound b (§3.2); expiration limits in CacheSnapshot are in this
+// clock's frame, so oracles must compare against LocalNow, not global time.
+func (h *Host) LocalNow() time.Time { return h.env.Now() }
+
 // CacheGranters reports how many managers vouch for a cached entry.
 func (h *Host) CacheGranters(app wire.AppID, user wire.UserID, right wire.Right) int {
 	return h.cache.Granters(app, user, right)

@@ -291,7 +291,7 @@ func (m *Manager) issueLocked(ma *mgrApp, op wire.AdminOp, cb func(wire.AdminRep
 	m.applyLocked(op.App, ma, upd)
 	ma.applied[m.id] = ma.counter
 	m.stats.UpdatesIssued++
-	m.emit(trace.EventUpdateIssued, op.App, op.User, op.Op.String())
+	m.emitUpd(trace.EventUpdateIssued, op.App, op.User, upd.Seq, op.Op.String())
 
 	out := &outUpdate{
 		app:          op.App,
@@ -386,8 +386,8 @@ func (m *Manager) checkUpdateQuorum(ma *mgrApp, out *outUpdate) {
 	}
 	out.quorumDone = true
 	m.stats.QuorumsReached++
-	m.emit(trace.EventUpdateQuorum, out.app, out.upd.User,
-		"seq="+strconv.FormatUint(out.upd.Seq.Counter, 10))
+	m.emitUpd(trace.EventUpdateQuorum, out.app, out.upd.User, out.upd.Seq,
+		out.upd.Op.String())
 	r := wire.AdminReply{ReqID: out.reqID, Accepted: true, QuorumReached: true}
 	m.reply(out.replyCb, r)
 	if out.replyTo != "" {
@@ -618,7 +618,7 @@ func (m *Manager) applyInOrder(ma *mgrApp, upd wire.Update) {
 	if !ma.forced[upd.Seq] {
 		if m.applyLocked(upd.App, ma, upd) {
 			m.stats.UpdatesApplied++
-			m.emit(trace.EventUpdateApplied, upd.App, upd.User,
+			m.emitUpd(trace.EventUpdateApplied, upd.App, upd.User, upd.Seq,
 				upd.Op.String()+" from "+string(origin))
 		} else {
 			m.stats.UpdatesStale++
@@ -711,7 +711,7 @@ func (m *Manager) ForceApply(upd wire.Update) error {
 	}
 	m.applyLocked(upd.App, ma, upd)
 	ma.forced[upd.Seq] = true
-	m.emit(trace.EventUpdateApplied, upd.App, upd.User, "forced")
+	m.emitUpd(trace.EventUpdateApplied, upd.App, upd.User, upd.Seq, "forced")
 	return nil
 }
 
@@ -942,5 +942,14 @@ func (m *Manager) SetPeers(app wire.AppID, peers []wire.NodeID) error {
 func (m *Manager) emit(t trace.EventType, app wire.AppID, user wire.UserID, note string) {
 	m.tracer.Emit(trace.Event{
 		Time: m.env.Now(), Node: m.id, Type: t, App: app, User: user, Note: note,
+	})
+}
+
+// emitUpd emits an event carrying the update sequence it refers to, so
+// offline invariant checkers can reconstruct per-origin application order
+// and quorum times.
+func (m *Manager) emitUpd(t trace.EventType, app wire.AppID, user wire.UserID, seq wire.UpdateSeq, note string) {
+	m.tracer.Emit(trace.Event{
+		Time: m.env.Now(), Node: m.id, Type: t, App: app, User: user, Seq: seq, Note: note,
 	})
 }

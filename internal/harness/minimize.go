@@ -1,0 +1,57 @@
+package harness
+
+// Minimize shrinks a failing scenario's event schedule to a smaller one
+// that still triggers at least one violation, using ddmin-style delta
+// debugging: partition the schedule into chunks, try dropping each chunk,
+// keep any reduction that still fails, and refine the granularity when no
+// chunk can be dropped. Because each trial replays the deterministic
+// simulator, "still fails" is an exact predicate, not a probability.
+//
+// budget caps the number of scenario re-executions (each trial simulates
+// the full virtual horizon); when it runs out the best reduction so far is
+// returned. A non-failing input is returned unchanged.
+func Minimize(sc Scenario, opt Options, budget int) Scenario {
+	fails := func(events []Event) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		trial := sc
+		trial.Events = events
+		res, err := RunScenario(trial, opt)
+		return err == nil && res.Failed()
+	}
+	if !fails(sc.Events) {
+		return sc
+	}
+
+	events := sc.Events
+	n := 2
+	for len(events) > 1 && budget > 0 {
+		chunk := (len(events) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(events) && budget > 0; lo += chunk {
+			hi := lo + chunk
+			if hi > len(events) {
+				hi = len(events)
+			}
+			candidate := make([]Event, 0, len(events)-(hi-lo))
+			candidate = append(candidate, events[:lo]...)
+			candidate = append(candidate, events[hi:]...)
+			if len(candidate) > 0 && fails(candidate) {
+				events = candidate
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(events) {
+				break
+			}
+			n = min(2*n, len(events))
+		}
+	}
+	sc.Events = events
+	return sc
+}

@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"wanac/internal/trace"
+	"wanac/internal/wire"
+)
+
+// Oracle names, stable identifiers used in reports and JSON output.
+const (
+	OracleRevocation   = "revocation-safety"
+	OracleSequencing   = "monotonic-sequencing"
+	OracleCache        = "cache-hygiene"
+	OracleAvailability = "eventual-availability"
+)
+
+// Violation is one invariant breach detected by an oracle.
+type Violation struct {
+	// Oracle is the name of the oracle that fired.
+	Oracle string `json:"oracle"`
+	// At is the virtual time of the violating observation.
+	At time.Time `json:"at"`
+	// Detail describes the breach with enough context to debug a replay.
+	Detail string `json:"detail"`
+}
+
+// String renders a violation on one line.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] t=%s %s", v.Oracle, v.At.Format("15:04:05.000"), v.Detail)
+}
+
+// Oracle is an invariant checker over one scenario execution. Oracles
+// accumulate observations while the runner drives the schedule (or, for
+// trace-derived oracles, in a single post-run pass) and report any
+// violations afterwards.
+type Oracle interface {
+	// Name returns the oracle's stable identifier.
+	Name() string
+	// Observations counts how many protocol facts the oracle judged; a
+	// passing run with zero observations exercised nothing.
+	Observations() int
+	// Violations returns the invariant breaches found, in detection order.
+	Violations() []Violation
+}
+
+// oracleState is the shared bookkeeping embedded in each concrete oracle.
+type oracleState struct {
+	name string
+	obs  int
+	viol []Violation
+}
+
+func (o *oracleState) Name() string            { return o.name }
+func (o *oracleState) Observations() int       { return o.obs }
+func (o *oracleState) Violations() []Violation { return o.viol }
+
+func (o *oracleState) fail(at time.Time, format string, args ...any) {
+	o.viol = append(o.viol, Violation{Oracle: o.name, At: at, Detail: fmt.Sprintf(format, args...)})
+}
+
+// revocationOracle checks the paper's central guarantee (§3.2-3.3): once a
+// revocation has reached an update quorum at time t, no host grants that
+// user confirmed (non-default) access to a check issued after t + bound.
+//
+// The bound is Te + QueryTimeout. The protocol promises t + Te: managers
+// hand out expiration period te = Te·b, host clocks run no slower than rate
+// b, so a cached grant lives at most Te of real time past the round that
+// fetched it — and any round that started before the quorum completed at t.
+// One QueryTimeout of slack covers a round in flight across the quorum
+// instant. This is deliberately tighter than the Te·(1+b) envelope one
+// could also defend, so the oracle would catch a manager that ignores b.
+type revocationOracle struct {
+	oracleState
+	bound time.Duration
+}
+
+func newRevocationOracle(te, queryTimeout time.Duration) *revocationOracle {
+	return &revocationOracle{
+		oracleState: oracleState{name: OracleRevocation},
+		bound:       te + queryTimeout,
+	}
+}
+
+// judge is called at decision time for a check issued at start, where
+// revokedAt was the user's pending revocation-quorum time when the check was
+// issued (zero if none) and stillRevoked reports whether that same
+// revocation is still the user's latest admin state (a concurrent re-grant
+// clears jurisdiction).
+func (o *revocationOracle) judge(user wire.UserID, host int, start, revokedAt time.Time, stillRevoked bool, allowed, defaultAllowed bool) {
+	o.obs++
+	if revokedAt.IsZero() || !stillRevoked {
+		return
+	}
+	late := start.Sub(revokedAt)
+	if allowed && !defaultAllowed && late > o.bound {
+		o.fail(start, "host h%d allowed %s %s after revocation quorum (bound %s)",
+			host, user, late, o.bound)
+	}
+}
+
+// cacheOracle checks host cache hygiene (§3.2): after a purge, no retained
+// entry may already be expired on the host's local clock, and a configured
+// cache bound is never exceeded.
+type cacheOracle struct {
+	oracleState
+	limit int
+}
+
+func newCacheOracle(limit int) *cacheOracle {
+	return &cacheOracle{oracleState: oracleState{name: OracleCache}, limit: limit}
+}
+
+// sweep judges one host observation (see sim.World.CacheObservation).
+func (o *cacheOracle) sweep(at time.Time, host, retained, expired int) {
+	o.obs++
+	if expired > 0 {
+		o.fail(at, "host h%d retained %d expired cache entries after purge", host, expired)
+	}
+	if o.limit > 0 && retained > o.limit {
+		o.fail(at, "host h%d cache holds %d entries, limit %d", host, retained, o.limit)
+	}
+}
+
+// sequencingOracle checks manager update ordering from the recorded trace
+// (§3.3's FIFO per-origin dissemination): every manager applies each
+// origin's updates in strictly increasing counter order, each origin issues
+// strictly increasing counters, and no update reaches quorum before it was
+// issued. Valid as long as the scenario never crash-recovers a manager
+// (recovery resyncs state and may legitimately replay counters).
+type sequencingOracle struct {
+	oracleState
+}
+
+func newSequencingOracle() *sequencingOracle {
+	return &sequencingOracle{oracleState: oracleState{name: OracleSequencing}}
+}
+
+// analyze runs the post-hoc pass over the full event trace.
+func (o *sequencingOracle) analyze(events []trace.Event, quorumAt map[wire.UpdateSeq]time.Time) {
+	type applyKey struct {
+		node   wire.NodeID
+		origin wire.NodeID
+	}
+	lastApplied := make(map[applyKey]uint64)
+	lastIssued := make(map[wire.NodeID]uint64)
+	issuedAt := make(map[wire.UpdateSeq]time.Time)
+
+	for _, e := range events {
+		switch e.Type {
+		case trace.EventUpdateIssued:
+			o.obs++
+			if prev, ok := lastIssued[e.Seq.Origin]; ok && e.Seq.Counter <= prev {
+				o.fail(e.Time, "origin %s issued counter %d after %d", e.Seq.Origin, e.Seq.Counter, prev)
+			}
+			lastIssued[e.Seq.Origin] = e.Seq.Counter
+			if _, ok := issuedAt[e.Seq]; !ok {
+				issuedAt[e.Seq] = e.Time
+			}
+		case trace.EventUpdateApplied:
+			o.obs++
+			k := applyKey{node: e.Node, origin: e.Seq.Origin}
+			if prev, ok := lastApplied[k]; ok && e.Seq.Counter <= prev {
+				o.fail(e.Time, "manager %s applied %s/%d after %s/%d",
+					e.Node, e.Seq.Origin, e.Seq.Counter, e.Seq.Origin, prev)
+			}
+			lastApplied[k] = e.Seq.Counter
+		}
+	}
+	for seq, qt := range quorumAt {
+		o.obs++
+		it, ok := issuedAt[seq]
+		if !ok {
+			o.fail(qt, "update %s/%d reached quorum but was never issued", seq.Origin, seq.Counter)
+			continue
+		}
+		if qt.Before(it) {
+			o.fail(qt, "update %s/%d reached quorum at %s before issue at %s",
+				seq.Origin, seq.Counter, qt.Format("15:04:05.000"), it.Format("15:04:05.000"))
+		}
+	}
+}
+
+// availabilityOracle checks liveness (§2.3): after the network heals, a host
+// can again confirm access for a user whose grant was stable before the
+// heal. Each armed probe retries every probeEvery until the settle window
+// closes; a probe that never sees an allow — absent interference (a new
+// disruption, a reset of the probed host, or a revocation of the probed
+// user, any of which silently aborts the probe) — is a violation.
+//
+// The window is a fixed settle period rather than the strict "R query
+// rounds" reading: with message loss up to 15% and C up to M confirmations
+// per round, a single round can fail benignly; retrying across the window
+// separates real unavailability from unlucky loss while still bounding
+// recovery time.
+type availabilityOracle struct {
+	oracleState
+}
+
+func newAvailabilityOracle() *availabilityOracle {
+	return &availabilityOracle{oracleState: oracleState{name: OracleAvailability}}
+}
+
+// probe tracks one armed post-heal availability obligation.
+type probe struct {
+	host    int
+	user    wire.UserID
+	healAt  time.Time
+	done    bool
+	aborted bool
+}
+
+// armed records that a probe was created (one observation each).
+func (o *availabilityOracle) armed() { o.obs++ }
+
+// judge closes a probe at its deadline.
+func (o *availabilityOracle) judge(pr *probe, at time.Time, window time.Duration) {
+	if pr.done || pr.aborted {
+		return
+	}
+	o.fail(at, "host h%d never confirmed access for stable user %s within %s of heal",
+		pr.host, pr.user, window)
+}

@@ -1,0 +1,406 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"wanac/internal/core"
+	"wanac/internal/sim"
+	"wanac/internal/simnet"
+	"wanac/internal/wire"
+)
+
+// Settle is the quiet tail run after the schedule so in-flight queries,
+// retransmissions and post-heal probes resolve before oracles are judged.
+const Settle = 90 * time.Second
+
+// availWindow is how long after a heal the availability oracle waits for a
+// confirmed access before declaring a liveness violation.
+const availWindow = 60 * time.Second
+
+// Options selects deliberate protocol misconfigurations, used by the
+// harness's own tests to prove the oracles catch real bugs. All-zero
+// Options run the protocol as implemented.
+type Options struct {
+	// InflateTe makes managers hand out grants valid for 10×Te while hosts
+	// and oracles still assume Te — the bug class of a manager ignoring the
+	// configured revocation bound. Combined with DropRevokeNotices this
+	// must trip the revocation-safety oracle.
+	InflateTe bool
+	// DropRevokeNotices silently discards every RevokeNotice on the wire,
+	// disabling the proactive flush so revoked users survive in host caches
+	// until expiry.
+	DropRevokeNotices bool
+}
+
+// OracleReport summarizes one oracle over one or more runs.
+type OracleReport struct {
+	Name         string `json:"name"`
+	Observations int    `json:"observations"`
+	Violations   int    `json:"violations"`
+}
+
+// Result is the outcome of one scenario execution.
+type Result struct {
+	Scenario Scenario
+	// Decisions counts check probes that reached a decision.
+	Decisions int
+	// Invokes counts application invocations that produced a reply.
+	Invokes int
+	// Oracles holds per-oracle observation/violation counts.
+	Oracles []OracleReport
+	// Violations are all invariant breaches, in detection order.
+	Violations []Violation
+}
+
+// Failed reports whether any oracle fired.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// runner drives one scenario against a sim.World, mirroring the bookkeeping
+// of the revocation soak test: a model of the latest admin state per user,
+// maintained from quorum callbacks, which the oracles judge against.
+type runner struct {
+	sc    Scenario
+	opt   Options
+	w     *sim.World
+	users []wire.UserID
+
+	// revokedAt maps a user to the virtual time their latest revocation
+	// reached an update quorum; absent while (re-)granted. Cleared
+	// optimistically when a re-grant is submitted so a slow grant quorum
+	// can't be misread as a stale revocation.
+	revokedAt map[wire.UserID]time.Time
+	// grantedAt maps a user to the time their latest grant reached quorum.
+	grantedAt map[wire.UserID]time.Time
+	// inflight serializes admin ops per user; overlapping ops on one user
+	// would make the model ambiguous.
+	inflight map[wire.UserID]bool
+
+	// lastDisrupt / lastReset feed the availability oracle's interference
+	// rule: disruptions after a heal void that heal's probes.
+	lastDisrupt time.Time
+	lastReset   []time.Time
+
+	rev   *revocationOracle
+	cache *cacheOracle
+	avail *availabilityOracle
+
+	decisions int
+	invokes   int
+}
+
+// latencyModel maps a Params.Latency tag to a simnet model.
+func latencyModel(tag string) simnet.LatencyModel {
+	switch tag {
+	case "uniform":
+		return simnet.Uniform{Min: 5 * time.Millisecond, Max: 60 * time.Millisecond}
+	case "exp":
+		return simnet.Exponential{Base: 5 * time.Millisecond, Mean: 25 * time.Millisecond, Cap: 500 * time.Millisecond}
+	default:
+		return simnet.Fixed{D: 10 * time.Millisecond}
+	}
+}
+
+// worldConfig translates sampled Params (plus injected bugs) into a
+// sim.Config.
+func worldConfig(sc Scenario, opt Options) sim.Config {
+	p := sc.Params
+	mgrTe := p.Te
+	if opt.InflateTe {
+		mgrTe = 10 * p.Te
+	}
+	users := make([]wire.UserID, 0, p.Users)
+	// Seed every other user with the use right so checks have authorized
+	// traffic from t=0; the rest only gain access through grant events.
+	for i := 0; i < p.Users; i += 2 {
+		users = append(users, userID(i))
+	}
+	return sim.Config{
+		App:      "app",
+		Managers: p.Managers,
+		Hosts:    p.Hosts,
+		Policy: core.Policy{
+			CheckQuorum:  p.CheckQuorum,
+			Te:           p.Te,
+			ClockBound:   p.ClockBound,
+			QueryTimeout: p.QueryTimeout,
+			MaxAttempts:  p.MaxAttempts,
+			DefaultAllow: p.DefaultAllow,
+			RefreshAhead: p.RefreshAhead,
+		},
+		Te:             mgrTe,
+		ClockBound:     p.ClockBound,
+		UpdateRetry:    p.UpdateRetry,
+		Users:          users,
+		HostClockRates: p.HostClockRates,
+		UseNameService: p.UseNameService,
+		NameServiceTTL: p.NameServiceTTL,
+		Net: simnet.Config{
+			Latency:   latencyModel(p.Latency),
+			Loss:      p.Loss,
+			Duplicate: p.Duplicate,
+			Seed:      sc.Seed,
+		},
+	}
+}
+
+func userID(i int) wire.UserID { return wire.UserID(fmt.Sprintf("u%d", i)) }
+
+// RunScenario executes one scenario to completion and reports what the
+// oracles saw. The execution is a pure function of (scenario, options):
+// replaying the same pair reproduces the identical result.
+func RunScenario(sc Scenario, opt Options) (*Result, error) {
+	w, err := sim.Build(worldConfig(sc, opt))
+	if err != nil {
+		return nil, fmt.Errorf("harness: build world for seed %d: %w", sc.Seed, err)
+	}
+	p := sc.Params
+	if opt.DropRevokeNotices {
+		w.Net.Filter = func(_, _ wire.NodeID, msg wire.Message) bool {
+			_, isNotice := msg.(wire.RevokeNotice)
+			return !isNotice
+		}
+	}
+	if p.CacheLimit > 0 {
+		for _, h := range w.Hosts {
+			h.SetCacheLimit(p.CacheLimit)
+		}
+	}
+
+	r := &runner{
+		sc:        sc,
+		opt:       opt,
+		w:         w,
+		revokedAt: make(map[wire.UserID]time.Time),
+		grantedAt: make(map[wire.UserID]time.Time),
+		inflight:  make(map[wire.UserID]bool),
+		lastReset: make([]time.Time, p.Hosts),
+		rev:       newRevocationOracle(p.Te, p.QueryTimeout),
+		cache:     newCacheOracle(p.CacheLimit),
+		avail:     newAvailabilityOracle(),
+	}
+	r.users = make([]wire.UserID, p.Users)
+	start := w.Sched.Now()
+	for i := range r.users {
+		r.users[i] = userID(i)
+		if i%2 == 0 {
+			r.grantedAt[r.users[i]] = start
+		}
+	}
+
+	// Count invoke replies arriving back at the shared user agent.
+	agent := wire.NodeID("harness-agent")
+	w.Net.Attach(agent, simnet.HandlerFunc(func(_ wire.NodeID, msg wire.Message) {
+		if _, ok := msg.(wire.InvokeReply); ok {
+			r.invokes++
+		}
+	}))
+
+	// Schedule the whole script plus the periodic cache sweeps up front;
+	// everything below runs inside scheduler callbacks, so only async node
+	// APIs may be used.
+	for _, e := range sc.Events {
+		ev := e
+		w.Sched.After(ev.At, func() { r.exec(ev, agent) })
+	}
+	for at := 15 * time.Second; at <= p.Horizon+Settle; at += 15 * time.Second {
+		t := at
+		w.Sched.After(t, func() { r.sweepCaches() })
+	}
+
+	w.RunFor(p.Horizon + Settle)
+
+	seq := newSequencingOracle()
+	seq.analyze(w.Tracer.Events(), w.UpdateQuorumTimes())
+
+	res := &Result{Scenario: sc, Decisions: r.decisions, Invokes: r.invokes}
+	for _, o := range []Oracle{r.rev, seq, r.cache, r.avail} {
+		res.Oracles = append(res.Oracles, OracleReport{
+			Name:         o.Name(),
+			Observations: o.Observations(),
+			Violations:   len(o.Violations()),
+		})
+		res.Violations = append(res.Violations, o.Violations()...)
+	}
+	return res, nil
+}
+
+// exec dispatches one scheduled event. It runs inside a scheduler callback.
+func (r *runner) exec(e Event, agent wire.NodeID) {
+	switch e.Kind {
+	case EvGrant:
+		r.submit(e, wire.OpAdd)
+	case EvRevoke:
+		r.submit(e, wire.OpRevoke)
+	case EvCheck:
+		r.check(e.Host, r.users[e.User])
+	case EvInvoke:
+		r.w.Net.Send(agent, sim.HostID(e.Host), wire.Invoke{
+			App: r.w.Cfg.App, User: r.users[e.User], Payload: []byte("ping"),
+		})
+	case EvPartitionHost:
+		r.lastDisrupt = r.now()
+		r.w.PartitionHostFromManagers(e.Host, e.Mgrs...)
+	case EvPartitionPair:
+		r.lastDisrupt = r.now()
+		r.w.PartitionManagerPair(e.Mgr, e.Mgr2)
+	case EvHeal:
+		r.w.Heal()
+		r.armAvailability(r.now())
+	case EvReset:
+		r.lastDisrupt = r.now()
+		r.lastReset[e.Host] = r.now()
+		r.w.Hosts[e.Host].Reset()
+	case EvNameChurn:
+		if r.w.Name != nil {
+			// Re-register the same manager set rotated by the event time:
+			// deterministic churn that forces TTL re-resolution without
+			// changing membership.
+			m := r.sc.Params.Managers
+			rot := int(e.At/time.Second) % m
+			ids := make([]wire.NodeID, m)
+			for i := 0; i < m; i++ {
+				ids[i] = sim.ManagerID((i + rot) % m)
+			}
+			r.w.Name.SetManagers(r.w.Cfg.App, ids, r.sc.Params.NameServiceTTL)
+		}
+	}
+}
+
+// submit issues one admin op, keeping the per-user model in sync with the
+// quorum outcome. Overlapping ops on the same user are skipped: the model
+// could not attribute the resulting state to either op.
+func (r *runner) submit(e Event, op wire.Op) {
+	user := r.users[e.User]
+	if r.inflight[user] {
+		return
+	}
+	r.inflight[user] = true
+	if op == wire.OpAdd {
+		// Clear optimistically at submission: once the re-grant is in the
+		// system, an allow can no longer be blamed on the old revocation.
+		delete(r.revokedAt, user)
+	}
+	r.w.Managers[e.Mgr].Submit(wire.AdminOp{
+		Op: op, App: r.w.Cfg.App, User: user, Right: wire.RightUse,
+		Issuer: r.w.Cfg.Admin,
+	}, func(reply wire.AdminReply) {
+		r.inflight[user] = false
+		if !reply.QuorumReached {
+			return
+		}
+		if op == wire.OpRevoke {
+			r.revokedAt[user] = r.now()
+			delete(r.grantedAt, user)
+		} else {
+			r.grantedAt[user] = r.now()
+		}
+	})
+}
+
+// check issues one oracle-judged probe.
+func (r *runner) check(host int, user wire.UserID) {
+	start := r.now()
+	at := r.revokedAt[user] // zero if not revoked
+	r.w.Hosts[host].Check(r.w.Cfg.App, user, wire.RightUse, func(d core.Decision) {
+		r.decisions++
+		// Re-read at decision time: jurisdiction lapses if a re-grant (which
+		// deletes the entry) or a newer revocation landed meanwhile.
+		cur, still := r.revokedAt[user]
+		r.rev.judge(user, host, start, at, still && cur.Equal(at), d.Allowed, d.DefaultAllowed)
+	})
+}
+
+// sweepCaches feeds one observation per host to the cache-hygiene oracle.
+func (r *runner) sweepCaches() {
+	for i := range r.w.Hosts {
+		_, retained, expired := r.w.CacheObservation(i)
+		r.cache.sweep(r.now(), i, len(retained), len(expired))
+	}
+}
+
+// armAvailability creates one post-heal liveness probe per host, targeting a
+// user whose grant has been stable for a while before the heal.
+func (r *runner) armAvailability(healAt time.Time) {
+	for hi := range r.w.Hosts {
+		user, ok := r.stableUser(healAt)
+		if !ok {
+			continue
+		}
+		pr := &probe{host: hi, user: user, healAt: healAt}
+		r.avail.armed()
+		// First probe waits out a few update-retry rounds so managers can
+		// reconverge; retries then cover benign message loss.
+		r.w.Sched.After(3*r.sc.Params.UpdateRetry, func() { r.probeOnce(pr) })
+		r.w.Sched.After(availWindow, func() {
+			if !r.interferes(pr) {
+				r.avail.judge(pr, r.now(), availWindow)
+			}
+		})
+	}
+}
+
+// stableUser picks the first user granted at least 10s before the heal and
+// not currently revoked.
+func (r *runner) stableUser(healAt time.Time) (wire.UserID, bool) {
+	for _, u := range r.users {
+		g, ok := r.grantedAt[u]
+		if !ok || healAt.Sub(g) < 10*time.Second {
+			continue
+		}
+		if _, revoked := r.revokedAt[u]; revoked {
+			continue
+		}
+		return u, true
+	}
+	return "", false
+}
+
+// interferes reports whether events since the heal invalidated the probe:
+// a new disruption, a reset of the probed host, or a loss of the user's
+// granted status (revocation or a pending admin op).
+func (r *runner) interferes(pr *probe) bool {
+	if r.lastDisrupt.After(pr.healAt) || r.lastReset[pr.host].After(pr.healAt) {
+		return true
+	}
+	if _, revoked := r.revokedAt[pr.user]; revoked {
+		return true
+	}
+	return r.inflight[pr.user]
+}
+
+// probeOnce runs one availability probe round and reschedules until the
+// window closes.
+func (r *runner) probeOnce(pr *probe) {
+	if pr.done || pr.aborted {
+		return
+	}
+	if r.interferes(pr) {
+		pr.aborted = true
+		return
+	}
+	if r.now().Sub(pr.healAt) > availWindow {
+		return
+	}
+	r.w.Hosts[pr.host].Check(r.w.Cfg.App, pr.user, wire.RightUse, func(d core.Decision) {
+		if d.Allowed {
+			pr.done = true
+		}
+	})
+	r.w.Sched.After(2*time.Second, func() { r.probeOnce(pr) })
+}
+
+func (r *runner) now() time.Time { return r.w.Sched.Now() }
+
+// FormatFailure renders the replay artifact for a failed run: the seed, the
+// violations, and the (possibly minimized) schedule.
+func FormatFailure(res *Result) string {
+	s := fmt.Sprintf("harness failure: %d violation(s) at seed %d\n", len(res.Violations), res.Scenario.Seed)
+	for _, v := range res.Violations {
+		s += "  " + v.String() + "\n"
+	}
+	s += "replay: go test ./internal/harness -run TestHarness -harness.seed=" +
+		fmt.Sprint(res.Scenario.Seed) + "\n"
+	s += res.Scenario.String()
+	return s
+}

@@ -1,0 +1,20 @@
+//go:build soak
+
+package harness
+
+import "testing"
+
+// TestHarnessSoak is the long-running sweep: 400 seeds beyond the quick
+// range, run with `go test -tags soak -timeout 30m ./internal/harness`.
+// Failures minimize and print the same replay artifact as the quick test.
+func TestHarnessSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak sweep skipped in -short mode")
+	}
+	report := runSweep(t, 1000, 400, Options{}, 120)
+	t.Logf("soak: %d scenarios, %d decisions, %d invoke replies",
+		report.Scenarios, report.Decisions, report.Invokes)
+	for _, o := range report.Oracles {
+		t.Logf("soak oracle %-22s observations=%d violations=%d", o.Name, o.Observations, o.Violations)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"wanac/internal/acl"
 	"wanac/internal/core"
 	"wanac/internal/nameservice"
 	"wanac/internal/simnet"
@@ -247,6 +248,37 @@ func (w *World) stepUntil(done *bool, deadline time.Duration) {
 		}
 		w.Sched.Step()
 	}
+}
+
+// UpdateQuorumTimes returns, per update sequence, the virtual time at which
+// the issuing manager observed update-quorum acknowledgments — the instant
+// the paper's Te guarantee starts (§3.3). Derived from the trace, so it is
+// an export hook for invariant oracles rather than part of the protocol.
+func (w *World) UpdateQuorumTimes() map[wire.UpdateSeq]time.Time {
+	out := make(map[wire.UpdateSeq]time.Time)
+	for _, e := range w.Tracer.Filter(trace.EventUpdateQuorum) {
+		if _, seen := out[e.Seq]; !seen {
+			out[e.Seq] = e.Time
+		}
+	}
+	return out
+}
+
+// CacheObservation purges host i's expired cache entries and reports what
+// remains: the number purged, the entries retained, and any retained entry
+// already past its limit on the host's local clock (which must be none —
+// the harness's cache-hygiene oracle flags violations).
+func (w *World) CacheObservation(host int) (purged int, retained []acl.Entry, expired []acl.Entry) {
+	h := w.Hosts[host]
+	purged = h.PurgeExpired()
+	now := h.LocalNow()
+	retained = h.CacheSnapshot()
+	for _, e := range retained {
+		if e.Expired(now) {
+			expired = append(expired, e)
+		}
+	}
+	return purged, retained, expired
 }
 
 // PartitionHostFromManagers cuts the links between host i and the given

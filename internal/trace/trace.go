@@ -85,6 +85,11 @@ type Event struct {
 	Type EventType
 	App  wire.AppID
 	User wire.UserID
+	// Seq identifies the update an update-issued/-applied/-quorum event
+	// refers to, letting offline checkers (internal/harness) verify
+	// per-origin application order and correlate quorum times with
+	// revocations. Zero for event types that do not concern an update.
+	Seq  wire.UpdateSeq
 	Note string
 }
 
@@ -97,6 +102,9 @@ func (e Event) String() string {
 	}
 	if e.User != "" {
 		fmt.Fprintf(&b, " user=%s", e.User)
+	}
+	if e.Seq.Origin != "" {
+		fmt.Fprintf(&b, " seq=%s/%d", e.Seq.Origin, e.Seq.Counter)
 	}
 	if e.Note != "" {
 		fmt.Fprintf(&b, " %s", e.Note)

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build everything, vet, then run the full test suite with
+# the race detector on. The harness quick sweep (internal/harness) and the
+# checker CLI self-test (cmd/acchk) are ordinary tests, so they run here
+# too; the long randomized sweep stays behind `-tags soak` (see README,
+# "Testing and verification").
+#
+# Usage: scripts/ci.sh [extra go-test args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race"
+go test -race "$@" ./...
+
+echo "CI gate passed."
