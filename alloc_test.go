@@ -1,0 +1,41 @@
+package wanac
+
+// Tier-1 allocation budgets for the steady-state hot paths. These are
+// regression fences, not aspirations: each budget is the measured cost of
+// the current implementation, and any increase means a pooled or reused
+// object started escaping again. The per-package tests pin wire.Size and
+// Network.Send at zero; this file pins the end-to-end cached check, whose
+// single remaining allocation is the host's deferred-callback slice
+// (rebuilt per call because decision callbacks may re-enter the host).
+
+import (
+	"testing"
+	"time"
+
+	"wanac/internal/core"
+	"wanac/internal/sim"
+	"wanac/internal/wire"
+)
+
+func TestCacheHitCheckAllocationBudget(t *testing.T) {
+	w, err := sim.Build(sim.Config{
+		Managers: 3, Hosts: 1,
+		Policy:  core.Policy{CheckQuorum: 2, QueryTimeout: time.Second, MaxAttempts: 2},
+		Users:   []wire.UserID{"u"},
+		NoTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := w.CheckSync(0, "u", wire.RightUse, time.Minute); !ok || !d.Allowed {
+		t.Fatal("warm-up check failed")
+	}
+	nop := func(core.Decision) {}
+	host, app := w.Hosts[0], w.Cfg.App
+	allocs := testing.AllocsPerRun(500, func() {
+		host.Check(app, "u", wire.RightUse, nop)
+	})
+	if allocs > 1 {
+		t.Errorf("cached check allocates %.1f objects/op, budget is 1 (the fires slice)", allocs)
+	}
+}

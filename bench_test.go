@@ -82,19 +82,29 @@ func BenchmarkTable1Analytic(b *testing.B) {
 
 func BenchmarkTable1MonteCarlo(b *testing.B) {
 	// One iteration = one (C, Pi) cell at modest trial count driving the
-	// real protocol; rotate through the table's cells.
+	// real protocol; rotate through the table's cells. The serial/parallel
+	// variants run the same trials through the experiment engine with one
+	// worker vs GOMAXPROCS workers — estimates are bit-identical (the
+	// engine's determinism contract), so the ratio is pure speedup.
 	cells := []struct {
 		c  int
 		pi float64
 	}{{1, 0.1}, {5, 0.1}, {10, 0.1}, {1, 0.2}, {5, 0.2}, {10, 0.2}}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		cell := cells[i%len(cells)]
-		p := sim.TrialParams{M: 10, C: cell.c, Pi: cell.pi, Trials: 50, Seed: int64(i + 1)}
-		if _, err := sim.EstimatePA(p); err != nil {
-			b.Fatal(err)
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cell := cells[i%len(cells)]
+				p := sim.TrialParams{M: 10, C: cell.c, Pi: cell.pi, Trials: 50,
+					Seed: int64(i + 1), Workers: workers}
+				if _, err := sim.EstimatePA(p); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(0))
 	printOnce("table1-mc", func() {
 		fmt.Println("\n[Table 1, Monte Carlo over live protocol] M=10, 2000 trials/cell")
 		fmt.Println("  C    Pi   analytic PA  simulated PA   analytic PS  simulated PS")
@@ -151,14 +161,21 @@ func BenchmarkTable2Analytic(b *testing.B) {
 
 func BenchmarkTable2MonteCarlo(b *testing.B) {
 	rows := []struct{ m, c int }{{4, 2}, {8, 2}, {12, 2}, {8, 4}, {12, 6}}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		r := rows[i%len(rows)]
-		p := sim.TrialParams{M: r.m, C: r.c, Pi: 0.2, Trials: 50, Seed: int64(i + 1)}
-		if _, err := sim.EstimatePS(p); err != nil {
-			b.Fatal(err)
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := rows[i%len(rows)]
+				p := sim.TrialParams{M: r.m, C: r.c, Pi: 0.2, Trials: 50,
+					Seed: int64(i + 1), Workers: workers}
+				if _, err := sim.EstimatePS(p); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(0))
 	printOnce("table2-mc", func() {
 		fmt.Println("\n[Table 2, Monte Carlo over live protocol] Pi=0.2, 2000 trials/cell")
 		fmt.Println("  M    C    analytic PS  simulated PS")

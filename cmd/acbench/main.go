@@ -1,0 +1,217 @@
+// Command acbench is the repeatable performance harness for the hot paths
+// this repo optimizes: wire encoding/size accounting, the simulated
+// network's send/deliver cycle, the host's cached access check, and the
+// Monte Carlo experiment engine's parallel-vs-serial speedup. It records
+// machine-readable results (ns/op, allocs/op, speedup) into a JSON report
+// so regressions are diffable across commits; scripts/bench.sh wraps it and
+// refuses to record from a dirty tree.
+//
+//	go run ./cmd/acbench -out cmd/acbench/BENCH.json -trials 2000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"wanac/internal/core"
+	"wanac/internal/sim"
+	"wanac/internal/simnet"
+	"wanac/internal/wire"
+)
+
+// microResult is one testing.Benchmark measurement.
+type microResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// mcResult is one Monte Carlo engine timing: the same estimate computed
+// serially (Workers=1) and in parallel (Workers=GOMAXPROCS), which must be
+// bit-identical by the engine's determinism contract.
+type mcResult struct {
+	Name            string  `json:"name"`
+	M               int     `json:"m"`
+	C               int     `json:"c"`
+	Pi              float64 `json:"pi"`
+	Trials          int     `json:"trials"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	Identical       bool    `json:"identical"`
+	Estimate        string  `json:"estimate"`
+}
+
+type report struct {
+	Commit     string        `json:"commit,omitempty"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Micro      []microResult `json:"micro"`
+	MonteCarlo []mcResult    `json:"monte_carlo"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH.json", "path of the JSON report to write")
+	trials := flag.Int("trials", 2000, "Monte Carlo trials per engine timing cell")
+	commit := flag.String("commit", "", "commit hash to stamp into the report")
+	flag.Parse()
+
+	rep := report{
+		Commit:     *commit,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	fmt.Printf("acbench: GOMAXPROCS=%d %s\n\n", rep.GOMAXPROCS, rep.GoVersion)
+	micro := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		m := microResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Micro = append(rep.Micro, m)
+		fmt.Printf("  %-28s %12.1f ns/op %6d allocs/op %8d B/op\n",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+	}
+
+	// Pre-boxed once: the benchmarks measure Size/Marshal/Send themselves,
+	// not the cost of converting a concrete Query to the Message interface
+	// at every call site.
+	var query wire.Message = wire.Query{App: "stocks", User: "alice", Right: wire.RightUse, Nonce: 42}
+
+	micro("wire/size", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Size(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	micro("wire/marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Marshal(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	micro("wire/append_marshal", func(b *testing.B) {
+		buf := make([]byte, 0, 128)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if buf, err = wire.AppendMarshal(buf[:0], query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	micro("simnet/send_countbytes", func(b *testing.B) {
+		sched := simnet.NewScheduler()
+		net := simnet.New(sched, simnet.Config{CountBytes: true})
+		sink := simnet.HandlerFunc(func(wire.NodeID, wire.Message) {})
+		net.Attach("a", sink)
+		net.Attach("b", sink)
+		for i := 0; i < 64; i++ { // warm the delivery-event pool
+			net.Send("a", "b", query)
+		}
+		sched.Run(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Send("a", "b", query)
+			if i%64 == 63 {
+				sched.Run(0)
+			}
+		}
+		sched.Run(0)
+	})
+	micro("core/check_cache_hit", func(b *testing.B) {
+		w, err := sim.Build(sim.Config{
+			Managers: 3, Hosts: 1,
+			Policy:  core.Policy{CheckQuorum: 2, QueryTimeout: time.Second, MaxAttempts: 2},
+			Users:   []wire.UserID{"u"},
+			NoTrace: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d, ok := w.CheckSync(0, "u", wire.RightUse, time.Minute); !ok || !d.Allowed {
+			b.Fatal("warm-up check failed")
+		}
+		nop := func(core.Decision) {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Hosts[0].Check(w.Cfg.App, "u", wire.RightUse, nop)
+		}
+	})
+
+	fmt.Println()
+	engine := func(name string, p sim.TrialParams,
+		est func(sim.TrialParams) (interface{ String() string }, error)) {
+		serial := p
+		serial.Workers = 1
+		t0 := time.Now()
+		se, err := est(serial)
+		if err != nil {
+			fatal(err)
+		}
+		serialDur := time.Since(t0)
+
+		// At least 4 workers even on small machines, so the parallel leg
+		// always exercises real sharding and the identity check is meaningful;
+		// wall-clock speedup itself scales with available cores.
+		par := p
+		par.Workers = runtime.GOMAXPROCS(0)
+		if par.Workers < 4 {
+			par.Workers = 4
+		}
+		t0 = time.Now()
+		pe, err := est(par)
+		if err != nil {
+			fatal(err)
+		}
+		parDur := time.Since(t0)
+
+		r := mcResult{
+			Name: name, M: p.M, C: p.C, Pi: p.Pi, Trials: p.Trials,
+			SerialSeconds:   serialDur.Seconds(),
+			ParallelSeconds: parDur.Seconds(),
+			Speedup:         serialDur.Seconds() / parDur.Seconds(),
+			Identical:       se == pe,
+			Estimate:        pe.String(),
+		}
+		rep.MonteCarlo = append(rep.MonteCarlo, r)
+		fmt.Printf("  %-14s M=%-3d C=%-3d Pi=%.2f trials=%d: serial %.2fs, parallel %.2fs, speedup %.2fx, identical=%v\n",
+			r.Name, r.M, r.C, r.Pi, r.Trials, r.SerialSeconds, r.ParallelSeconds, r.Speedup, r.Identical)
+		if !r.Identical {
+			fatal(fmt.Errorf("%s: parallel estimate diverged from serial", name))
+		}
+	}
+	engine("estimate_pa", sim.TrialParams{M: 10, C: 5, Pi: 0.1, Trials: *trials, Seed: 42},
+		func(p sim.TrialParams) (interface{ String() string }, error) { return sim.EstimatePA(p) })
+	engine("estimate_ps", sim.TrialParams{M: 10, C: 5, Pi: 0.2, Trials: *trials, Seed: 43},
+		func(p sim.TrialParams) (interface{ String() string }, error) { return sim.EstimatePS(p) })
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acbench:", err)
+	os.Exit(1)
+}

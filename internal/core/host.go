@@ -27,6 +27,7 @@ type Host struct {
 	id      wire.NodeID
 	env     Env
 	tracer  trace.Tracer
+	tracing bool          // false when tracer is trace.Nop: skip building detail strings
 	keyring *auth.Keyring // nil: trust claimed identities (simulation)
 
 	mu    sync.Mutex
@@ -37,9 +38,22 @@ type Host struct {
 	// round; byKey coalesces concurrent checks for the same right.
 	pending map[uint64]*check
 	byKey   map[checkKey]*check
-	// fires collects callbacks to invoke after the lock is released.
-	fires []func()
-	stats HostStats
+	// fires collects callbacks to invoke after the lock is released. Entries
+	// are (callback, decision) pairs rather than closures so the cache-hit
+	// path allocates nothing beyond the slice itself.
+	fires []firing
+	// freeChecks recycles finished check structs (and their grantedBy maps
+	// and callback slices) so steady-state query rounds allocate nothing.
+	freeChecks []*check
+	stats      HostStats
+}
+
+// firing is one deferred callback invocation. raw takes precedence over
+// (cb, d); it exists for the rare paths that defer arbitrary work.
+type firing struct {
+	cb  func(Decision)
+	d   Decision
+	raw func()
 }
 
 type hostApp struct {
@@ -47,7 +61,10 @@ type hostApp struct {
 	nameService wire.NodeID
 	app         Application
 
-	managers       []wire.NodeID
+	managers []wire.NodeID
+	// managerSet mirrors managers for O(1) membership checks on the
+	// response hot path (rebuilt whenever the manager set changes).
+	managerSet     map[wire.NodeID]bool
 	managersExpire time.Time // zero: static set, never expires
 	// rr rotates the starting manager of first-round queries so load
 	// spreads across Managers(A).
@@ -85,10 +102,12 @@ func NewHost(id wire.NodeID, env Env, tracer trace.Tracer, keyring *auth.Keyring
 	if tracer == nil {
 		tracer = trace.Nop{}
 	}
+	_, nop := tracer.(trace.Nop)
 	return &Host{
 		id:      id,
 		env:     env,
 		tracer:  tracer,
+		tracing: !nop,
 		keyring: keyring,
 		apps:    make(map[wire.AppID]*hostApp),
 		cache:   acl.NewCache(),
@@ -123,14 +142,29 @@ func (h *Host) RegisterApp(app wire.AppID, cfg HostAppConfig) error {
 	if _, ok := h.apps[app]; ok {
 		return fmt.Errorf("%w: app %s already registered", ErrConfig, app)
 	}
-	h.apps[app] = &hostApp{
+	a := &hostApp{
 		policy:      cfg.Policy,
 		nameService: cfg.NameService,
 		app:         cfg.App,
-		managers:    managers,
 	}
+	a.setManagers(managers)
+	h.apps[app] = a
 	return nil
 }
+
+// setManagers installs the manager list and rebuilds the membership set.
+func (a *hostApp) setManagers(managers []wire.NodeID) {
+	a.managers = managers
+	a.managerSet = make(map[wire.NodeID]bool, len(managers))
+	for _, m := range managers {
+		a.managerSet[m] = true
+	}
+}
+
+// isManager reports whether id is a current member of Managers(A): a
+// precomputed set lookup, replacing the linear scan that ran once per
+// response on the hot path.
+func (a *hostApp) isManager(id wire.NodeID) bool { return a.managerSet[id] }
 
 // Check asynchronously decides whether user holds right on app, invoking cb
 // exactly once with the outcome. Concurrent checks for the same
@@ -148,12 +182,16 @@ func (h *Host) withLock(fn func()) {
 	h.fires = nil
 	h.mu.Unlock()
 	for _, f := range fires {
-		f()
+		if f.raw != nil {
+			f.raw()
+		} else {
+			f.cb(f.d)
+		}
 	}
 }
 
 func (h *Host) fire(cb func(Decision), d Decision) {
-	h.fires = append(h.fires, func() { cb(d) })
+	h.fires = append(h.fires, firing{cb: cb, d: d})
 }
 
 func (h *Host) checkLocked(app wire.AppID, user wire.UserID, right wire.Right, cb func(Decision)) {
@@ -178,7 +216,7 @@ func (h *Host) checkLocked(app wire.AppID, user wire.UserID, right wire.Right, c
 			entry.Limit.Sub(now) <= ra {
 			key := checkKey{app, user, right}
 			if _, inflight := h.byKey[key]; !inflight && h.managersUsable(a, now) {
-				c := &check{key: key}
+				c := h.newCheck(key)
 				h.byKey[key] = c
 				h.startRound(a, c)
 			}
@@ -193,7 +231,8 @@ func (h *Host) checkLocked(app wire.AppID, user wire.UserID, right wire.Right, c
 		c.callbacks = append(c.callbacks, cb)
 		return
 	}
-	c := &check{key: key, callbacks: []func(Decision){cb}}
+	c := h.newCheck(key)
+	c.callbacks = append(c.callbacks, cb)
 	h.byKey[key] = c
 
 	if h.managersUsable(a, now) {
@@ -204,13 +243,40 @@ func (h *Host) checkLocked(app wire.AppID, user wire.UserID, right wire.Right, c
 	h.resolveManagers(a, app)
 }
 
-func isManager(managers []wire.NodeID, id wire.NodeID) bool {
-	for _, m := range managers {
-		if m == id {
-			return true
-		}
+// newCheck takes a check struct from the free list (retaining its cleared
+// grantedBy map and callback slice) or allocates a fresh one. startRound
+// and finish are the paired producers/consumers of the list.
+func (h *Host) newCheck(key checkKey) *check {
+	if n := len(h.freeChecks); n > 0 {
+		c := h.freeChecks[n-1]
+		h.freeChecks[n-1] = nil
+		h.freeChecks = h.freeChecks[:n-1]
+		c.key = key
+		return c
 	}
-	return false
+	return &check{key: key}
+}
+
+// maxFreeChecks bounds the free list; beyond it, finished checks are left
+// for the GC (a burst of coalesced checks should not pin memory forever).
+const maxFreeChecks = 64
+
+// recycleCheck resets a finished check and returns it to the free list.
+// Callers must ensure no references escape: finish clears the callbacks and
+// pending/byKey entries, and stale timers look checks up by nonce (which is
+// never reused), so a recycled struct can never be reached by old state.
+func (h *Host) recycleCheck(c *check) {
+	if len(h.freeChecks) >= maxFreeChecks {
+		return
+	}
+	for i := range c.callbacks {
+		c.callbacks[i] = nil
+	}
+	callbacks := c.callbacks[:0]
+	grantedBy := c.grantedBy
+	clear(grantedBy)
+	*c = check{grantedBy: grantedBy, callbacks: callbacks}
+	h.freeChecks = append(h.freeChecks, c)
 }
 
 func (h *Host) managersUsable(a *hostApp, now time.Time) bool {
@@ -233,7 +299,11 @@ func (h *Host) startRound(a *hostApp, c *check) {
 	h.nonce++
 	c.nonce = h.nonce
 	c.attempts++
-	c.grantedBy = make(map[wire.NodeID]struct{}, a.policy.CheckQuorum)
+	if c.grantedBy == nil {
+		c.grantedBy = make(map[wire.NodeID]struct{}, a.policy.CheckQuorum)
+	} else {
+		clear(c.grantedBy)
+	}
 	c.denials = 0
 	c.sentAt = h.env.Now()
 	c.minExpire = 0
@@ -253,8 +323,10 @@ func (h *Host) startRound(a *hostApp, c *check) {
 	for i := 0; i < count; i++ {
 		h.env.Send(a.managers[(start+i)%m], q)
 	}
-	h.emit(trace.EventQuerySent, c.key.app, c.key.user,
-		"round="+strconv.Itoa(c.attempts)+" managers="+strconv.Itoa(count))
+	if h.tracing {
+		h.emit(trace.EventQuerySent, c.key.app, c.key.user,
+			"round="+strconv.Itoa(c.attempts)+" managers="+strconv.Itoa(count))
+	}
 
 	nonce := c.nonce
 	c.timer = h.env.SetTimer(a.policy.QueryTimeout, func() {
@@ -273,7 +345,9 @@ func (h *Host) onQueryTimeout(nonce uint64) {
 		h.finish(c, Decision{})
 		return
 	}
-	h.emit(trace.EventQueryTimeout, c.key.app, c.key.user, "round="+strconv.Itoa(c.attempts))
+	if h.tracing {
+		h.emit(trace.EventQueryTimeout, c.key.app, c.key.user, "round="+strconv.Itoa(c.attempts))
+	}
 	h.retryOrGiveUp(a, c)
 }
 
@@ -282,8 +356,10 @@ func (h *Host) onQueryTimeout(nonce uint64) {
 func (h *Host) retryOrGiveUp(a *hostApp, c *check) {
 	if a.policy.MaxAttempts > 0 && c.attempts >= a.policy.MaxAttempts {
 		if a.policy.DefaultAllow {
-			h.emit(trace.EventAccessDefault, c.key.app, c.key.user,
-				"attempts="+strconv.Itoa(c.attempts))
+			if h.tracing {
+				h.emit(trace.EventAccessDefault, c.key.app, c.key.user,
+					"attempts="+strconv.Itoa(c.attempts))
+			}
 			h.finish(c, Decision{
 				Allowed: true, DefaultAllowed: true,
 				Attempts: c.attempts, Frozen: c.frozen,
@@ -297,7 +373,7 @@ func (h *Host) retryOrGiveUp(a *hostApp, c *check) {
 	h.startRound(a, c)
 }
 
-// finish resolves a check and queues its callbacks.
+// finish resolves a check, queues its callbacks, and recycles the struct.
 func (h *Host) finish(c *check, d Decision) {
 	h.recordDecision(d)
 	if c.timer != nil {
@@ -308,7 +384,7 @@ func (h *Host) finish(c *check, d Decision) {
 	for _, cb := range c.callbacks {
 		h.fire(cb, d)
 	}
-	c.callbacks = nil
+	h.recycleCheck(c)
 }
 
 // HandleMessage implements the network handler: the "when ... from network"
@@ -354,7 +430,7 @@ func (h *Host) onResponse(from wire.NodeID, m wire.Response) {
 	// response from anyone else (a confused host, a spoofed node id) is
 	// discarded. With authentication enabled the transport already binds
 	// sender identities, making this check authoritative.
-	if !isManager(a.managers, from) {
+	if !a.isManager(from) {
 		return
 	}
 	switch {
@@ -408,8 +484,10 @@ func (h *Host) grant(c *check) {
 	for m := range c.grantedBy {
 		h.cache.Put(c.key.app, c.key.user, c.key.right, limit, m)
 	}
-	h.emit(trace.EventGrantCached, c.key.app, c.key.user,
-		"confirmations="+strconv.Itoa(len(c.grantedBy)))
+	if h.tracing {
+		h.emit(trace.EventGrantCached, c.key.app, c.key.user,
+			"confirmations="+strconv.Itoa(len(c.grantedBy)))
+	}
 	h.emit(trace.EventAccessAllowed, c.key.app, c.key.user, "quorum")
 	h.finish(c, Decision{
 		Allowed:       true,
@@ -423,7 +501,7 @@ func (h *Host) onRevokeNotice(from wire.NodeID, m wire.RevokeNotice) {
 	// Only managers of the application may flush cache entries; otherwise
 	// any node could deny service by spraying RevokeNotices.
 	a, ok := h.apps[m.App]
-	if !ok || !isManager(a.managers, from) {
+	if !ok || !a.isManager(from) {
 		return
 	}
 	removed := h.cache.Remove(m.App, m.User, m.Right)
@@ -478,9 +556,9 @@ func (h *Host) serveInvoke(from wire.NodeID, m wire.Invoke, d Decision) {
 }
 
 func (h *Host) replyInvoke(from wire.NodeID, m wire.Invoke, d Decision) {
-	h.fires = append(h.fires, func() {
+	h.fires = append(h.fires, firing{raw: func() {
 		h.env.Send(from, wire.InvokeReply{App: m.App, ReqID: m.ReqID, Allowed: d.Allowed})
-	})
+	}})
 }
 
 // resolveManagers queries the trusted name service for Managers(A) (§3.2).
@@ -551,7 +629,7 @@ func (h *Host) onResolveResponse(from wire.NodeID, m wire.ResolveResponse) {
 		h.onResolveTimeout(a, m.App)
 		return
 	}
-	a.managers = append([]wire.NodeID(nil), m.Managers...)
+	a.setManagers(append([]wire.NodeID(nil), m.Managers...))
 	if m.TTL > 0 {
 		a.managersExpire = h.env.Now().Add(m.TTL)
 	} else {
@@ -582,7 +660,7 @@ func (h *Host) SetManagers(app wire.AppID, managers []wire.NodeID) error {
 	if len(managers) < a.policy.CheckQuorum {
 		return fmt.Errorf("%w: %d managers < check quorum %d", ErrConfig, len(managers), a.policy.CheckQuorum)
 	}
-	a.managers = append([]wire.NodeID(nil), managers...)
+	a.setManagers(append([]wire.NodeID(nil), managers...))
 	a.managersExpire = time.Time{}
 	return nil
 }
@@ -634,6 +712,7 @@ func (h *Host) Reset() {
 	for _, a := range h.apps {
 		a.waiting = nil
 		a.resolving = false
+		a.rr = 0
 		if a.resolveTimer != nil {
 			a.resolveTimer.Stop()
 		}

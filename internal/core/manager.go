@@ -783,6 +783,57 @@ func (m *Manager) Recover() {
 	})
 }
 
+// ResetVolatile returns the manager to its post-AddApp state: the ACL store
+// is emptied (callers re-Seed bootstrap rights), outstanding update
+// dissemination and revocation notices are cancelled, and per-app
+// sequencing, buffers, grant tracking, and freeze/sync state are cleared.
+// Unlike Recover it does not model a crash — no peer resynchronization is
+// started — it is the experiment engine's between-trials reset for reused
+// worlds, where rebuilding every node per trial would dominate the run.
+func (m *Manager) ResetVolatile() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.store = acl.NewStore()
+	for _, out := range m.outstanding {
+		if out.timer != nil {
+			out.timer.Stop()
+		}
+	}
+	m.outstanding = make(map[wire.UpdateSeq]*outUpdate)
+	for _, n := range m.notices {
+		if n.timer != nil {
+			n.timer.Stop()
+		}
+	}
+	m.notices = make(map[noticeKey]*outNotice)
+	m.fires = nil
+	now := m.env.Now()
+	for app, ma := range m.apps {
+		ma.counter = 0
+		ma.applied = make(map[wire.NodeID]uint64)
+		ma.buffer = make(map[wire.NodeID]map[uint64]wire.Update)
+		ma.forced = make(map[wire.UpdateSeq]bool)
+		ma.grants = make(map[grantKey]map[wire.NodeID]time.Time)
+		ma.lastOp = make(map[grantKey]wire.Update)
+		for _, p := range ma.peers {
+			ma.lastSeen[p] = now
+		}
+		ma.frozen = false
+		ma.syncing = false
+		if ma.syncTimer != nil {
+			ma.syncTimer.Stop()
+			ma.syncTimer = nil
+		}
+		if ma.hbTimer != nil {
+			ma.hbTimer.Stop()
+			ma.hbTimer = nil
+		}
+		if ma.cfg.FreezeTi > 0 && len(ma.peers) > 0 {
+			m.scheduleHeartbeat(app, ma)
+		}
+	}
+}
+
 func (m *Manager) startSync(app wire.AppID, ma *mgrApp) {
 	for _, p := range ma.peers {
 		m.env.Send(p, wire.SyncRequest{App: app})

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"wanac/internal/core"
@@ -27,8 +29,14 @@ type TrialParams struct {
 	Pi float64
 	// Trials is the number of Monte Carlo trials.
 	Trials int
-	// Seed makes the estimate reproducible.
+	// Seed makes the estimate reproducible. Each trial derives its own RNG
+	// from (Seed, trial index), so the estimate does not depend on how
+	// trials are scheduled across workers.
 	Seed int64
+	// Workers is the worker-pool size for RunTrials; 0 means GOMAXPROCS.
+	// Any value yields bit-identical estimates — 1 is the serial baseline
+	// the benchmarks compare against.
+	Workers int
 }
 
 const (
@@ -55,34 +63,108 @@ func trialConfig(p TrialParams, hosts int) Config {
 		Users:            []wire.UserID{"u"},
 		MaxUpdateRetries: 1, // the partition pattern is static per trial
 		UpdateRetry:      trialQueryTimeout,
+		NoTrace:          true, // trials inspect decisions, not traces
 	}
+}
+
+// TrialFunc runs one Monte Carlo trial against a world in its post-Build
+// (or post-ResetTrial) state, drawing ALL of the trial's randomness from
+// rng. It reports whether the trial counts as a success.
+type TrialFunc func(w *World, rng *rand.Rand) (bool, error)
+
+// trialSeed derives the RNG seed for one trial from the experiment seed
+// with a splitmix64-style mixer: sequential (seed, trial) pairs scatter
+// across the 64-bit space, so per-trial streams are independent of each
+// other and of how trials are assigned to workers.
+func trialSeed(seed int64, trial int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(trial)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e9b5
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// RunTrials is the deterministic parallel experiment engine: it shards
+// p.Trials independent trials across a pool of p.Workers goroutines
+// (GOMAXPROCS when zero), each worker owning one world that it resets
+// between trials instead of rebuilding — Build dominates a single trial's
+// cost, so reuse is where most of the speedup over the old
+// build-per-trial loop comes from, on top of the parallelism.
+//
+// Trial t draws its randomness from a dedicated RNG seeded by
+// trialSeed(p.Seed, t), making each trial's outcome a pure function of
+// (p, fn, t): the merged estimate is bit-identical for any worker count,
+// so parallel runs are directly comparable with serial ones and with each
+// other. Per-worker shard counts are pooled with stats.Proportion.Merge,
+// which recomputes the Wilson interval from the combined counts.
+func RunTrials(p TrialParams, hosts int, fn TrialFunc) (stats.Proportion, error) {
+	if err := validateTrial(p); err != nil {
+		return stats.Proportion{}, err
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > p.Trials {
+		workers = p.Trials
+	}
+	shards := make([]stats.Proportion, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			w, err := Build(trialConfig(p, hosts))
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			rng := rand.New(rand.NewSource(1))
+			successes, trials := 0, 0
+			for t := k; t < p.Trials; t += workers {
+				if trials > 0 {
+					w.ResetTrial()
+				}
+				rng.Seed(trialSeed(p.Seed, t))
+				ok, err := fn(w, rng)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				trials++
+				if ok {
+					successes++
+				}
+			}
+			shards[k] = stats.NewProportion(successes, trials)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats.Proportion{}, err
+		}
+	}
+	agg := shards[0]
+	for _, s := range shards[1:] {
+		agg = agg.Merge(s)
+	}
+	return agg, nil
 }
 
 // EstimatePA estimates the availability PA(C) empirically: the probability
 // that a host with a cold cache can assemble a check quorum when each
 // host-manager pair is inaccessible with probability Pi.
 func EstimatePA(p TrialParams) (stats.Proportion, error) {
-	if err := validateTrial(p); err != nil {
-		return stats.Proportion{}, err
-	}
-	rng := rand.New(rand.NewSource(p.Seed))
-	successes := 0
-	for trial := 0; trial < p.Trials; trial++ {
-		w, err := Build(trialConfig(p, 1))
-		if err != nil {
-			return stats.Proportion{}, err
-		}
+	return RunTrials(p, 1, func(w *World, rng *rand.Rand) (bool, error) {
 		for m := 0; m < p.M; m++ {
 			if rng.Float64() < p.Pi {
 				w.Net.SetLink(HostID(0), ManagerID(m), false)
 			}
 		}
 		d, done := w.CheckSync(0, "u", wire.RightUse, trialDeadline)
-		if done && d.Allowed && !d.DefaultAllowed {
-			successes++
-		}
-	}
-	return stats.NewProportion(successes, p.Trials), nil
+		return done && d.Allowed && !d.DefaultAllowed, nil
+	})
 }
 
 // EstimatePS estimates the security PS(C) empirically: the probability that
@@ -90,27 +172,15 @@ func EstimatePA(p TrialParams) (stats.Proportion, error) {
 // managers when each manager pair involving the origin is inaccessible with
 // probability Pi.
 func EstimatePS(p TrialParams) (stats.Proportion, error) {
-	if err := validateTrial(p); err != nil {
-		return stats.Proportion{}, err
-	}
-	rng := rand.New(rand.NewSource(p.Seed))
-	successes := 0
-	for trial := 0; trial < p.Trials; trial++ {
-		w, err := Build(trialConfig(p, 0))
-		if err != nil {
-			return stats.Proportion{}, err
-		}
+	return RunTrials(p, 0, func(w *World, rng *rand.Rand) (bool, error) {
 		for m := 1; m < p.M; m++ {
 			if rng.Float64() < p.Pi {
 				w.PartitionManagerPair(0, m)
 			}
 		}
 		reply, done := w.Revoke(0, "u", trialDeadline)
-		if done && reply.QuorumReached {
-			successes++
-		}
-	}
-	return stats.NewProportion(successes, p.Trials), nil
+		return done && reply.QuorumReached, nil
+	})
 }
 
 func validateTrial(p TrialParams) error {

@@ -44,6 +44,11 @@ type Config struct {
 	Net simnet.Config
 	// Application, when non-nil, is installed on every host.
 	Application core.Application
+	// NoTrace builds the world with a no-op tracer: no events are recorded
+	// and nodes skip building event detail strings. Monte Carlo trials set it
+	// — they only inspect decisions and replies, and tracing is pure overhead
+	// on their hot path. World.Tracer is nil when NoTrace is set.
+	NoTrace bool
 }
 
 // World is a fully wired simulated deployment.
@@ -88,12 +93,19 @@ func Build(cfg Config) (*World, error) {
 
 	sched := simnet.NewScheduler()
 	net := simnet.New(sched, cfg.Net)
-	tracer := trace.NewCollector(0)
+	var (
+		collector *trace.Collector
+		tracer    trace.Tracer = trace.Nop{}
+	)
+	if !cfg.NoTrace {
+		collector = trace.NewCollector(0)
+		tracer = collector
+	}
 	w := &World{
 		Cfg:      cfg,
 		Sched:    sched,
 		Net:      net,
-		Tracer:   tracer,
+		Tracer:   collector,
 		AppCalls: make([]int, cfg.Hosts),
 	}
 
@@ -168,6 +180,37 @@ func Build(cfg Config) (*World, error) {
 
 // RunFor advances the world by d of simulated time.
 func (w *World) RunFor(d time.Duration) { w.Sched.RunFor(d) }
+
+// ResetTrial returns the world to its post-Build logical state without
+// rebuilding it: all pending events (in-flight deliveries, armed timers) are
+// discarded, links healed, network counters and traces zeroed, hosts reset
+// (cold cache, no in-flight checks), and managers reset to their seeded
+// ACLs. The virtual clock is NOT rewound — it only moves forward — which is
+// sound because the protocol depends only on relative durations; a trial on
+// a reused world is outcome-identical to one on a fresh Build (the
+// experiment tests assert exactly this). Crashed/detached nodes are the one
+// thing not restored; trial functions that crash nodes must Recover them.
+func (w *World) ResetTrial() {
+	w.Sched.DiscardPending()
+	w.Net.Heal()
+	w.Net.ResetStats()
+	if w.Tracer != nil {
+		w.Tracer.Reset()
+	}
+	for _, h := range w.Hosts {
+		h.Reset()
+	}
+	for _, m := range w.Managers {
+		m.ResetVolatile()
+		m.Seed(w.Cfg.App, w.Cfg.Admin, wire.RightManage)
+		for _, u := range w.Cfg.Users {
+			m.Seed(w.Cfg.App, u, wire.RightUse)
+		}
+	}
+	for i := range w.AppCalls {
+		w.AppCalls[i] = 0
+	}
+}
 
 // CheckSync runs an access check on host i and steps the simulation until
 // the decision lands or the deadline of simulated time passes. It reports
@@ -256,6 +299,9 @@ func (w *World) stepUntil(done *bool, deadline time.Duration) {
 // an export hook for invariant oracles rather than part of the protocol.
 func (w *World) UpdateQuorumTimes() map[wire.UpdateSeq]time.Time {
 	out := make(map[wire.UpdateSeq]time.Time)
+	if w.Tracer == nil { // NoTrace world: no events to reconstruct from
+		return out
+	}
 	for _, e := range w.Tracer.Filter(trace.EventUpdateQuorum) {
 		if _, seen := out[e.Seq]; !seen {
 			out[e.Seq] = e.Time

@@ -196,9 +196,12 @@ func (n *Network) Send(from, to wire.NodeID, msg wire.Message) {
 	n.counters.Sent++
 	n.counters.ByKind[msg.Kind()]++
 	if n.cfg.CountBytes {
-		if frame, err := wire.Marshal(msg); err == nil {
-			n.counters.BytesSent += uint64(len(frame))
-			n.counters.BytesByKind[msg.Kind()] += uint64(len(frame))
+		// wire.Size walks the frame layout without encoding, so byte
+		// accounting costs no allocation per message (it used to pay a full
+		// Marshal here just for len()).
+		if sz, err := wire.Size(msg); err == nil {
+			n.counters.BytesSent += uint64(sz)
+			n.counters.BytesByKind[msg.Kind()] += uint64(sz)
 		}
 	}
 	if nd, ok := n.nodes[from]; ok && nd.crashed {
@@ -228,16 +231,22 @@ func (n *Network) Send(from, to wire.NodeID, msg wire.Message) {
 	}
 }
 
+// deliverAfter schedules delivery through the scheduler's pooled delivery
+// events: no per-message closure or timer handle, so a send allocates
+// nothing in steady state.
 func (n *Network) deliverAfter(d time.Duration, from, to wire.NodeID, msg wire.Message) {
-	n.sched.After(d, func() {
-		nd, ok := n.nodes[to]
-		if !ok || nd.crashed {
-			n.counters.Dropped++
-			return
-		}
-		n.counters.Delivered++
-		nd.handler.HandleMessage(from, msg)
-	})
+	n.sched.scheduleDelivery(d, n, from, to, msg)
+}
+
+// deliver hands a due message to its destination (called by the scheduler).
+func (n *Network) deliver(from, to wire.NodeID, msg wire.Message) {
+	nd, ok := n.nodes[to]
+	if !ok || nd.crashed {
+		n.counters.Dropped++
+		return
+	}
+	n.counters.Delivered++
+	nd.handler.HandleMessage(from, msg)
 }
 
 // Multicast sends msg to each destination independently (§2.2: the network

@@ -488,3 +488,67 @@ func TestByteAccounting(t *testing.T) {
 		t.Error("bytes counted without CountBytes")
 	}
 }
+
+// TestSendAllocationBudget pins the steady-state allocation cost of
+// Network.Send + delivery. With byte counting on, Send used to Marshal
+// every message just for len(); with pooled delivery events and wire.Size
+// the whole send/deliver cycle is allocation-free once warm. Budget: 0.
+func TestSendAllocationBudget(t *testing.T) {
+	sched := NewScheduler()
+	n := New(sched, Config{CountBytes: true})
+	n.Attach("a", HandlerFunc(func(wire.NodeID, wire.Message) {}))
+	n.Attach("b", HandlerFunc(func(wire.NodeID, wire.Message) {}))
+	var msg wire.Message = wire.Query{App: "app", User: "u", Right: wire.RightUse, Nonce: 7}
+	// Warm the event pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		n.Send("a", "b", msg)
+	}
+	sched.Run(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		n.Send("a", "b", msg)
+		sched.Run(0)
+	})
+	if allocs > 0 {
+		t.Errorf("Send+deliver allocates %.1f objects/op, budget is 0", allocs)
+	}
+}
+
+// TestCountBytesMatchesMarshal keeps the Size-based byte accounting honest
+// against the real encoding.
+func TestCountBytesMatchesMarshal(t *testing.T) {
+	sched := NewScheduler()
+	n := New(sched, Config{CountBytes: true})
+	n.Attach("a", HandlerFunc(func(wire.NodeID, wire.Message) {}))
+	n.Attach("b", HandlerFunc(func(wire.NodeID, wire.Message) {}))
+	msgs := []wire.Message{
+		wire.Query{App: "app", User: "u", Right: wire.RightUse, Nonce: 7},
+		wire.Response{App: "app", User: "u", Right: wire.RightUse, Nonce: 7, Granted: true, Expire: time.Minute},
+		wire.Invoke{App: "app", User: "u", ReqID: 9, Payload: []byte("payload")},
+	}
+	var want uint64
+	for _, m := range msgs {
+		frame, err := wire.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += uint64(len(frame))
+		n.Send("a", "b", m)
+	}
+	if got := n.Stats().BytesSent; got != want {
+		t.Errorf("BytesSent = %d, want %d (Marshal total)", got, want)
+	}
+}
+
+func BenchmarkSendCountBytes(b *testing.B) {
+	sched := NewScheduler()
+	n := New(sched, Config{CountBytes: true})
+	n.Attach("a", HandlerFunc(func(wire.NodeID, wire.Message) {}))
+	n.Attach("b", HandlerFunc(func(wire.NodeID, wire.Message) {}))
+	var msg wire.Message = wire.Query{App: "app", User: "u", Right: wire.RightUse, Nonce: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send("a", "b", msg)
+		sched.Run(0)
+	}
+}

@@ -15,14 +15,30 @@ import (
 	"time"
 
 	"wanac/internal/vclock"
+	"wanac/internal/wire"
 )
 
-// event is a scheduled callback.
+// event is a scheduled callback or message delivery. Cancellable events
+// double as their own Timer handle (one allocation instead of two); message
+// deliveries carry their payload in typed fields instead of a closure so
+// the scheduler can recycle them through a free list — the dominant event
+// volume in a simulation is deliveries, and pooling them makes Network.Send
+// allocation-free in steady state.
 type event struct {
 	at  time.Time
 	seq uint64 // tie-breaker: FIFO among events at the same instant
 	fn  func()
-	t   *Timer // non-nil if cancellable
+
+	// Delivery payload; set (net non-nil) for pooled network deliveries.
+	net      *Network
+	from, to wire.NodeID
+	msg      wire.Message
+
+	// Timer state, used only by cancellable events returned from At/After.
+	sched       *Scheduler
+	cancellable bool
+	stopped     bool
+	fired       bool
 }
 
 type eventHeap []*event
@@ -48,19 +64,23 @@ func (h *eventHeap) Pop() any {
 }
 
 // Timer is a handle for a scheduled callback that can be cancelled before it
-// fires. Stop after firing is a no-op.
-type Timer struct {
-	stopped bool
-	fired   bool
-}
+// fires. Stop after firing is a no-op. A Timer is a view of its scheduler
+// event, so obtaining one costs no extra allocation.
+type Timer event
 
 // Stop cancels the timer. It reports whether the callback was prevented from
-// running (false if it already fired or was already stopped).
+// running (false if it already fired or was already stopped). The event
+// stays in the scheduler's heap marked dead; the scheduler drops dead
+// entries when it reaches them, or compacts the heap eagerly once more than
+// half of it is dead — long soak runs that arm and cancel many timers
+// (retransmissions, query timeouts) would otherwise accumulate garbage
+// until the nominal fire times drain it.
 func (t *Timer) Stop() bool {
 	if t == nil || t.fired || t.stopped {
 		return false
 	}
 	t.stopped = true
+	t.sched.noteStopped()
 	return true
 }
 
@@ -70,16 +90,22 @@ func (t *Timer) Stopped() bool { return t != nil && t.stopped }
 // Fired reports whether the callback has run.
 func (t *Timer) Fired() bool { return t != nil && t.fired }
 
+// maxFreeEvents bounds the delivery-event free list so a burst does not pin
+// memory forever.
+const maxFreeEvents = 1024
+
 // Scheduler is a single-threaded discrete-event executor over a virtual
 // clock. Events run in timestamp order (FIFO among equal timestamps), and
 // event callbacks may schedule further events. Schedulers are not safe for
 // concurrent use; all protocol activity in a simulation runs on one
 // goroutine, which is what makes runs deterministic and fast.
 type Scheduler struct {
-	clock *vclock.Virtual
-	queue eventHeap
-	seq   uint64
-	steps uint64
+	clock   *vclock.Virtual
+	queue   eventHeap
+	seq     uint64
+	steps   uint64
+	stopped int      // dead (cancelled, undrained) entries in queue
+	free    []*event // recycled non-cancellable delivery events
 }
 
 // NewScheduler returns an empty scheduler starting at vclock.Epoch.
@@ -94,8 +120,9 @@ func (s *Scheduler) Clock() *vclock.Virtual { return s.clock }
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Time { return s.clock.Now() }
 
-// Pending returns the number of queued events (including stopped timers not
-// yet drained).
+// Pending returns the number of queued events, including stopped timers not
+// yet dropped. Mass cancellations shrink it promptly: the scheduler
+// compacts the heap whenever dead entries outnumber live ones.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
 // Steps returns the number of events executed so far.
@@ -107,10 +134,10 @@ func (s *Scheduler) At(t time.Time, fn func()) *Timer {
 	if t.Before(s.Now()) {
 		t = s.Now()
 	}
-	tm := &Timer{}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn, t: tm})
-	return tm
+	e := &event{at: t, seq: s.seq, fn: fn, sched: s, cancellable: true}
+	heap.Push(&s.queue, e)
+	return (*Timer)(e)
 }
 
 // After schedules fn to run d from now.
@@ -121,20 +148,101 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 	return s.At(s.Now().Add(d), fn)
 }
 
+// scheduleDelivery enqueues a pooled, non-cancellable message delivery d
+// from now (the Network fast path: no closure, no Timer, reused event).
+func (s *Scheduler) scheduleDelivery(d time.Duration, n *Network, from, to wire.NodeID, msg wire.Message) {
+	if d < 0 {
+		d = 0
+	}
+	var e *event
+	if k := len(s.free); k > 0 {
+		e = s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	} else {
+		e = &event{}
+	}
+	s.seq++
+	*e = event{at: s.Now().Add(d), seq: s.seq, net: n, from: from, to: to, msg: msg}
+	heap.Push(&s.queue, e)
+}
+
+// recycle returns a drained delivery event to the free list, dropping its
+// payload references so messages do not outlive their delivery.
+func (s *Scheduler) recycle(e *event) {
+	*e = event{}
+	if len(s.free) < maxFreeEvents {
+		s.free = append(s.free, e)
+	}
+}
+
+// noteStopped records a timer cancellation and compacts the heap once dead
+// entries exceed half of it (lazy deletion with an eager threshold: O(n)
+// compaction amortized against the >n/2 cancellations that triggered it).
+func (s *Scheduler) noteStopped() {
+	s.stopped++
+	if s.stopped*2 > len(s.queue) {
+		s.compact()
+	}
+}
+
+// compact removes dead (stopped) entries and re-establishes the heap
+// invariant. Relative order of live events is preserved by (at, seq).
+func (s *Scheduler) compact() {
+	live := s.queue[:0]
+	for _, e := range s.queue {
+		if e.cancellable && e.stopped {
+			continue
+		}
+		live = append(live, e)
+	}
+	for i := len(live); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = live
+	s.stopped = 0
+	heap.Init(&s.queue)
+}
+
+// DiscardPending drops every queued event without running it. The experiment
+// engine calls it between trials on a reused world: in-flight deliveries and
+// armed timers from a finished trial must not leak into the next one. The
+// clock is unchanged (it only ever moves forward). Outstanding Timer handles
+// are marked stopped, so a later Stop() on one is a harmless no-op.
+func (s *Scheduler) DiscardPending() {
+	for i, e := range s.queue {
+		s.queue[i] = nil
+		if e.net != nil {
+			s.recycle(e)
+		} else if e.cancellable {
+			e.stopped = true
+		}
+	}
+	s.queue = s.queue[:0]
+	s.stopped = 0
+}
+
 // Step executes the next due event, advancing the clock to its timestamp.
 // It returns false when the queue is empty. Stopped timers are skipped.
 func (s *Scheduler) Step() bool {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*event)
-		if e.t != nil && e.t.stopped {
+		if e.cancellable && e.stopped {
+			s.stopped--
 			continue
 		}
 		s.clock.Set(e.at)
-		if e.t != nil {
-			e.t.fired = true
+		if e.cancellable {
+			e.fired = true
 		}
 		s.steps++
-		e.fn()
+		if e.net != nil {
+			n, from, to, msg := e.net, e.from, e.to, e.msg
+			s.recycle(e)
+			n.deliver(from, to, msg)
+		} else {
+			e.fn()
+		}
 		return true
 	}
 	return false

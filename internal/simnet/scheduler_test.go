@@ -158,3 +158,116 @@ func TestNegativeAfterClamped(t *testing.T) {
 		t.Errorf("clock moved: %v", s.Now())
 	}
 }
+
+// TestStoppedTimerCompaction is the regression test for the stopped-timer
+// leak: cancelled timers used to sit in the heap until their nominal fire
+// time, so long soak runs accumulated dead entries. The scheduler now
+// compacts once more than half the heap is dead, so Pending() must shrink
+// promptly after a mass cancellation.
+func TestStoppedTimerCompaction(t *testing.T) {
+	s := NewScheduler()
+	timers := make([]*Timer, 0, 100)
+	for i := 0; i < 100; i++ {
+		timers = append(timers, s.After(time.Duration(i+1)*time.Hour, func() {}))
+	}
+	if s.Pending() != 100 {
+		t.Fatalf("Pending() = %d, want 100", s.Pending())
+	}
+	// Stop 60 of 100: the >50% threshold must trip during the loop and
+	// compact the heap, hours of virtual time before the dead entries would
+	// have drained on their own. Lazy deletion may leave a sub-threshold
+	// tail of dead entries, but never more dead than live ones.
+	for i := 0; i < 60; i++ {
+		if !timers[i].Stop() {
+			t.Fatalf("Stop %d returned false", i)
+		}
+	}
+	if live := 40; s.Pending() > 2*live {
+		t.Errorf("Pending() = %d after mass Stop, want <= %d (heap not compacted)", s.Pending(), 2*live)
+	}
+	if s.Pending() >= 100 {
+		t.Errorf("Pending() = %d, did not shrink after mass Stop", s.Pending())
+	}
+	// The surviving timers still fire, in order.
+	fired := 0
+	for s.Step() {
+		fired++
+	}
+	if fired != 40 {
+		t.Errorf("fired %d events, want 40", fired)
+	}
+}
+
+// TestCompactionPreservesOrder stops every other timer across the threshold
+// and checks that surviving events still run in (time, FIFO) order.
+func TestCompactionPreservesOrder(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	var timers []*Timer
+	for i := 0; i < 64; i++ {
+		i := i
+		timers = append(timers, s.After(time.Duration(1+i/8)*time.Second, func() { fired = append(fired, i) }))
+	}
+	for i := 0; i < 64; i += 2 {
+		timers[i].Stop()
+	}
+	s.Run(0)
+	if len(fired) != 32 {
+		t.Fatalf("fired %d, want 32", len(fired))
+	}
+	for j := 1; j < len(fired); j++ {
+		if fired[j-1] >= fired[j] {
+			t.Fatalf("order violated: %v", fired)
+		}
+	}
+}
+
+// TestStopAccountingAcrossStep stops timers that Step then skips naturally,
+// ensuring the dead-entry counter stays consistent with the heap.
+func TestStopAccountingAcrossStep(t *testing.T) {
+	s := NewScheduler()
+	a := s.After(time.Millisecond, func() {})
+	s.After(2*time.Millisecond, func() {})
+	a.Stop() // 1 dead of 2: below threshold, stays queued
+	if s.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2 (lazy deletion below threshold)", s.Pending())
+	}
+	s.Run(0)
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain, want 0", s.Pending())
+	}
+	// Further stops on drained/fired timers must not corrupt the counter.
+	a.Stop()
+	b := s.After(time.Millisecond, func() {})
+	b.Stop()
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0 after compaction of sole dead entry", s.Pending())
+	}
+}
+
+// TestDiscardPending covers the between-trials reset used by the experiment
+// engine: all queued work vanishes, outstanding Timer handles become inert,
+// and the scheduler remains usable.
+func TestDiscardPending(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.After(time.Millisecond, func() { fired = true })
+	s.After(time.Second, func() { fired = true })
+	s.DiscardPending()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after discard, want 0", s.Pending())
+	}
+	s.Run(0)
+	if fired {
+		t.Error("discarded event fired")
+	}
+	if tm.Stop() {
+		t.Error("Stop on a discarded timer returned true")
+	}
+	ran := false
+	s.After(time.Millisecond, func() { ran = true })
+	s.Run(0)
+	if !ran {
+		t.Error("scheduler unusable after DiscardPending")
+	}
+}

@@ -132,6 +132,16 @@ func NewProportion(successes, trials int) Proportion {
 	return Proportion{Successes: successes, Trials: trials, P: p, Lo: lo, Hi: hi}
 }
 
+// Merge pools this estimate with another over a disjoint set of trials,
+// recomputing the point estimate and Wilson interval from the combined
+// counts (confidence intervals do not add, so the merged interval must be
+// derived from the pooled counts, not the shard intervals). The parallel
+// experiment engine merges per-worker shards with it; merging in any order
+// yields the same result.
+func (p Proportion) Merge(q Proportion) Proportion {
+	return NewProportion(p.Successes+q.Successes, p.Trials+q.Trials)
+}
+
 // Contains reports whether the interval covers v.
 func (p Proportion) Contains(v float64) bool { return v >= p.Lo && v <= p.Hi }
 

@@ -154,3 +154,19 @@ func TestHistogramDegenerate(t *testing.T) {
 		t.Errorf("degenerate histogram = %+v", h)
 	}
 }
+
+// TestProportionMerge: pooling shard counts must equal computing the
+// estimate over the full trial set directly, independent of merge order.
+func TestProportionMerge(t *testing.T) {
+	direct := NewProportion(37, 100)
+	a, b, c := NewProportion(20, 60), NewProportion(10, 25), NewProportion(7, 15)
+	if got := a.Merge(b).Merge(c); got != direct {
+		t.Errorf("merged = %+v, direct = %+v", got, direct)
+	}
+	if got := c.Merge(a.Merge(b)); got != direct {
+		t.Errorf("merge order changed result: %+v vs %+v", got, direct)
+	}
+	if got := NewProportion(3, 10).Merge(Proportion{}); got != NewProportion(3, 10) {
+		t.Errorf("zero shard is not the identity: %+v", got)
+	}
+}

@@ -164,7 +164,16 @@ func (d *decoder) seq() UpdateSeq {
 
 // Marshal encodes a message with the compact binary codec.
 func Marshal(msg Message) ([]byte, error) {
-	e := &encoder{buf: make([]byte, 0, 64)}
+	return AppendMarshal(make([]byte, 0, 64), msg)
+}
+
+// AppendMarshal encodes a message with the compact binary codec, appending
+// the frame to buf and returning the extended slice. Callers on hot paths
+// (the simulated network's byte accounting, transport write loops) pass a
+// reused buffer to avoid a fresh allocation per message; on error buf is
+// returned unchanged except for possibly extended capacity.
+func AppendMarshal(buf []byte, msg Message) ([]byte, error) {
+	e := &encoder{buf: buf}
 	switch m := msg.(type) {
 	case Query:
 		e.byte(tagQuery)
@@ -292,7 +301,7 @@ func Marshal(msg Message) ([]byte, error) {
 		e.bytes(m.Frame)
 		e.bytes(m.Sig)
 	default:
-		return nil, fmt.Errorf("wire: cannot marshal %T", msg)
+		return buf, fmt.Errorf("wire: cannot marshal %T", msg)
 	}
 	return e.buf, nil
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Records the performance baseline: runs cmd/acbench and writes
+# cmd/acbench/BENCH.json stamped with the current commit.
+#
+# Refuses to run on a dirty tree — a benchmark artifact that cannot be
+# attributed to an exact commit is worse than none, because the next
+# regression hunt will trust numbers that never matched the code.
+#
+# Usage: scripts/bench.sh [acbench flags...]   (e.g. -trials 5000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ -n "$(git status --porcelain)" ]; then
+    echo "bench.sh: working tree is dirty; commit or stash first" >&2
+    echo "bench.sh: (BENCH.json must be attributable to one commit)" >&2
+    exit 1
+fi
+
+commit="$(git rev-parse --short HEAD)"
+go run ./cmd/acbench -out cmd/acbench/BENCH.json -commit "$commit" "$@"

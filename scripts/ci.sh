@@ -18,4 +18,9 @@ go vet ./...
 echo "== go test -race"
 go test -race "$@" ./...
 
+echo "== benchmark smoke (one iteration each)"
+# One iteration per benchmark: catches benchmarks that fatal or hang without
+# paying full measurement time. Real numbers come from scripts/bench.sh.
+go test -run '^$' -bench=. -benchtime=1x ./... > /dev/null
+
 echo "CI gate passed."
