@@ -1,10 +1,11 @@
 // Command acbench is the repeatable performance harness for the hot paths
 // this repo optimizes: wire encoding/size accounting, the simulated
-// network's send/deliver cycle, the host's cached access check, and the
-// Monte Carlo experiment engine's parallel-vs-serial speedup. It records
-// machine-readable results (ns/op, allocs/op, speedup) into a JSON report
-// so regressions are diffable across commits; scripts/bench.sh wraps it and
-// refuses to record from a dirty tree.
+// network's send/deliver cycle, the host's cached access check, the Monte
+// Carlo experiment engine's parallel-vs-serial speedup, and the live TCP
+// transport's loopback round-trip latency and one-way throughput. It
+// records machine-readable results (ns/op, allocs/op, speedup, msgs/sec)
+// into a JSON report so regressions are diffable across commits;
+// scripts/bench.sh wraps it and refuses to record from a dirty tree.
 //
 //	go run ./cmd/acbench -out cmd/acbench/BENCH.json -trials 2000
 package main
@@ -15,12 +16,16 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"wanac/internal/core"
+	"wanac/internal/netcore"
 	"wanac/internal/sim"
 	"wanac/internal/simnet"
+	"wanac/internal/tcpnet"
 	"wanac/internal/wire"
 )
 
@@ -48,18 +53,37 @@ type mcResult struct {
 	Estimate        string  `json:"estimate"`
 }
 
+// liveResult measures the netcore-backed TCP transport on loopback:
+// request/reply round-trip latency through the full frame-encode / queue /
+// writer-goroutine / read-loop path, and one-way throughput with a deep
+// queue (drops counted, not hidden).
+type liveResult struct {
+	Name       string  `json:"name"`
+	RoundTrips int     `json:"round_trips"`
+	RTTp50Us   float64 `json:"rtt_p50_us"`
+	RTTp99Us   float64 `json:"rtt_p99_us"`
+	Messages   int     `json:"messages"`
+	Delivered  uint64  `json:"delivered"`
+	Dropped    uint64  `json:"dropped"`
+	MsgsPerSec float64 `json:"throughput_msgs_per_sec"`
+	BytesOut   uint64  `json:"bytes_out"`
+}
+
 type report struct {
 	Commit     string        `json:"commit,omitempty"`
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Micro      []microResult `json:"micro"`
 	MonteCarlo []mcResult    `json:"monte_carlo"`
+	Live       []liveResult  `json:"live"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH.json", "path of the JSON report to write")
 	trials := flag.Int("trials", 2000, "Monte Carlo trials per engine timing cell")
 	commit := flag.String("commit", "", "commit hash to stamp into the report")
+	rtts := flag.Int("live-rtts", 1000, "live TCP round trips to time")
+	liveMsgs := flag.Int("live-msgs", 50000, "live TCP one-way throughput messages")
 	flag.Parse()
 
 	rep := report{
@@ -201,6 +225,15 @@ func main() {
 	engine("estimate_ps", sim.TrialParams{M: 10, C: 5, Pi: 0.2, Trials: *trials, Seed: 43},
 		func(p sim.TrialParams) (interface{ String() string }, error) { return sim.EstimatePS(p) })
 
+	fmt.Println()
+	lr, err := liveTCP(*rtts, *liveMsgs)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Live = append(rep.Live, lr)
+	fmt.Printf("  %-14s %d round trips: p50 %.1fus p99 %.1fus; %d msgs one-way: %.0f msgs/s (%d delivered, %d dropped)\n",
+		lr.Name, lr.RoundTrips, lr.RTTp50Us, lr.RTTp99Us, lr.Messages, lr.MsgsPerSec, lr.Delivered, lr.Dropped)
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -209,6 +242,110 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("\nwrote %s\n", *out)
+}
+
+// liveTCP benchmarks the transport over real loopback sockets: rtts
+// sequential Heartbeat→HeartbeatAck round trips for latency percentiles,
+// then msgs one-way sends as fast as the queue accepts them for throughput.
+func liveTCP(rtts, msgs int) (liveResult, error) {
+	cfg := netcore.BuildConfig(netcore.WithQueueDepth(msgs + 64))
+	a, err := tcpnet.ListenConfig("bench-a", "127.0.0.1:0", cfg)
+	if err != nil {
+		return liveResult{}, err
+	}
+	defer a.Close()
+	b, err := tcpnet.ListenConfig("bench-b", "127.0.0.1:0", cfg)
+	if err != nil {
+		return liveResult{}, err
+	}
+	defer b.Close()
+	if err := a.AddPeer("bench-b", b.Addr()); err != nil {
+		return liveResult{}, err
+	}
+
+	var delivered atomic.Uint64
+	acks := make(chan uint64, 1)
+	b.SetHandler(echoHandler{node: b, delivered: &delivered})
+	a.SetHandler(ackHandler{acks: acks})
+
+	// Latency: one outstanding round trip at a time.
+	lat := make([]time.Duration, 0, rtts)
+	for i := 0; i < rtts; i++ {
+		t0 := time.Now()
+		a.Send("bench-b", wire.Heartbeat{Nonce: uint64(i)})
+		select {
+		case <-acks:
+			lat = append(lat, time.Since(t0))
+		case <-time.After(5 * time.Second):
+			return liveResult{}, fmt.Errorf("live TCP: round trip %d timed out", i)
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 := lat[len(lat)/2]
+	p99 := lat[len(lat)*99/100]
+
+	// Throughput: blast one way (Query frames are counted at the receiver,
+	// not echoed), then wait until every message is either delivered or
+	// accounted for as a drop.
+	t0 := time.Now()
+	for i := 0; i < msgs; i++ {
+		a.Send("bench-b", wire.Query{App: "bench", User: "u", Right: wire.RightUse, Nonce: uint64(i)})
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var st netcore.TransportStats
+	for {
+		st = a.Stats()
+		if delivered.Load()+st.Drops >= uint64(msgs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return liveResult{}, fmt.Errorf("live TCP: throughput run stalled (stats %+v)", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(t0)
+	got := delivered.Load()
+	return liveResult{
+		Name:       "tcp_loopback",
+		RoundTrips: rtts,
+		RTTp50Us:   float64(p50.Nanoseconds()) / 1e3,
+		RTTp99Us:   float64(p99.Nanoseconds()) / 1e3,
+		Messages:   msgs,
+		Delivered:  got,
+		Dropped:    st.Drops,
+		MsgsPerSec: float64(got) / elapsed.Seconds(),
+		BytesOut:   st.BytesOut,
+	}, nil
+}
+
+// echoHandler answers Heartbeats with a HeartbeatAck over the inbound
+// connection (latency leg) and tallies Query frames (throughput leg).
+type echoHandler struct {
+	node      *tcpnet.Node
+	delivered *atomic.Uint64
+}
+
+func (h echoHandler) HandleMessage(from wire.NodeID, msg wire.Message) {
+	switch m := msg.(type) {
+	case wire.Heartbeat:
+		h.node.Send(from, wire.HeartbeatAck{Nonce: m.Nonce})
+	case wire.Query:
+		h.delivered.Add(1)
+	}
+}
+
+// ackHandler signals completed round trips for the latency leg.
+type ackHandler struct {
+	acks chan uint64
+}
+
+func (h ackHandler) HandleMessage(from wire.NodeID, msg wire.Message) {
+	if ack, ok := msg.(wire.HeartbeatAck); ok {
+		select {
+		case h.acks <- ack.Nonce:
+		default:
+		}
+	}
 }
 
 func fatal(err error) {

@@ -1,52 +1,58 @@
 // Command acctl drives acnode deployments: it issues Add/Revoke operations
-// to a manager, and Invoke requests to an application host.
+// to a manager, Invoke requests to an application host, and — acting as an
+// ephemeral host — quorum access checks against the manager set.
 //
 //	acctl -to m0=127.0.0.1:7000 grant  stocks alice        # use right
 //	acctl -to m0=127.0.0.1:7000 grant  stocks bob manage   # manage right
 //	acctl -to m0=127.0.0.1:7000 revoke stocks alice
 //	acctl -to h0=127.0.0.1:7100 invoke stocks alice "quote ACME"
+//	acctl -to m0=127.0.0.1:7000,m1=127.0.0.1:7001,m2=127.0.0.1:7002 -c 2 \
+//	      check stocks alice
 //
 // Grant/revoke wait for the update quorum acknowledgment (the point at
-// which the Te guarantee begins); invoke prints the application's reply.
+// which the Te guarantee begins); invoke prints the application's reply;
+// check runs the host-side check protocol (Figure 2) against every manager
+// in -to and reports the quorum decision.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"wanac"
 	"wanac/internal/auth"
-	"wanac/internal/tcpnet"
-	"wanac/internal/udpnet"
+	"wanac/internal/core"
 	"wanac/internal/wire"
 )
 
 func main() {
 	var (
-		to      = flag.String("to", "", "target node as id=addr (required)")
+		to      = flag.String("to", "", "target node(s) as comma-separated id=addr (required)")
 		issuer  = flag.String("issuer", "root", "issuing manager user for grant/revoke")
 		timeout = flag.Duration("timeout", 10*time.Second, "reply timeout")
 		trans   = flag.String("transport", "tcp", "tcp | udp (must match the target acnode)")
 		keyFile = flag.String("key", "", "private key file from ackeygen: seal and sign operations")
 		asUser  = flag.String("as", "", "identity for the -key (defaults to -issuer for grant/revoke, <user> for invoke)")
+		quorum  = flag.Int("c", 1, "check: quorum C over the managers listed in -to")
 	)
 	flag.Parse()
-	if err := run(*to, *issuer, *timeout, *trans, *keyFile, *asUser, flag.Args()); err != nil {
+	if err := run(*to, *issuer, *timeout, *trans, *keyFile, *asUser, *quorum, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "acctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(to, issuer string, timeout time.Duration, trans, keyFile, asUser string, args []string) error {
-	kv := strings.SplitN(to, "=", 2)
-	if len(kv) != 2 {
-		return fmt.Errorf("-to must be id=addr")
+func run(to, issuer string, timeout time.Duration, trans, keyFile, asUser string, quorum int, args []string) error {
+	targets, err := parseTargets(to)
+	if err != nil {
+		return err
 	}
-	target, addr := wire.NodeID(kv[0]), kv[1]
 	if len(args) < 3 {
-		return fmt.Errorf("usage: acctl -to id=addr grant|revoke|invoke <app> <user> [right|payload]")
+		return fmt.Errorf("usage: acctl -to id=addr[,id=addr...] grant|revoke|invoke|check <app> <user> [right|payload]")
 	}
 	verb, app, user := args[0], wire.AppID(args[1]), wire.UserID(args[2])
 
@@ -71,34 +77,24 @@ func run(to, issuer string, timeout time.Duration, trans, keyFile, asUser string
 		return auth.Seal(identity, signer, msg)
 	}
 
-	replies := make(chan wire.Message, 4)
-	sink := handlerFunc(func(_ wire.NodeID, msg wire.Message) { replies <- msg })
-
-	var send func(msg wire.Message)
-	switch trans {
-	case "tcp":
-		node, err := tcpnet.Listen("acctl", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		defer node.Close()
-		node.AddPeer(target, addr)
-		node.SetHandler(sink)
-		send = func(msg wire.Message) { node.Send(target, msg) }
-	case "udp":
-		node, err := udpnet.Listen("acctl", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		defer node.Close()
-		if err := node.AddPeer(target, addr); err != nil {
-			return err
-		}
-		node.SetHandler(sink)
-		send = func(msg wire.Message) { node.Send(target, msg) }
-	default:
-		return fmt.Errorf("unknown transport %q", trans)
+	node, err := wanac.Listen(trans, "acctl", "127.0.0.1:0")
+	if err != nil {
+		return err
 	}
+	defer node.Close()
+	for _, tgt := range targets {
+		if err := node.AddPeer(tgt.id, tgt.addr); err != nil {
+			return err
+		}
+	}
+	primary := targets[0].id
+
+	if verb == "check" {
+		return runCheck(node, targets, app, user, quorum, timeout, args)
+	}
+
+	replies := make(chan wire.Message, 4)
+	node.SetHandler(handlerFunc(func(_ wire.NodeID, msg wire.Message) { replies <- msg }))
 
 	switch verb {
 	case "grant", "revoke":
@@ -117,7 +113,7 @@ func run(to, issuer string, timeout time.Duration, trans, keyFile, asUser string
 		if err != nil {
 			return err
 		}
-		send(msg)
+		node.Send(primary, msg)
 		// First reply: accepted/rejected. Second: quorum reached.
 		deadline := time.After(timeout)
 		for {
@@ -149,7 +145,7 @@ func run(to, issuer string, timeout time.Duration, trans, keyFile, asUser string
 		if err != nil {
 			return err
 		}
-		send(msg)
+		node.Send(primary, msg)
 		select {
 		case msg := <-replies:
 			r, ok := msg.(wire.InvokeReply)
@@ -167,6 +163,67 @@ func run(to, issuer string, timeout time.Duration, trans, keyFile, asUser string
 	default:
 		return fmt.Errorf("unknown verb %q", verb)
 	}
+}
+
+// runCheck performs a live access check: acctl becomes an ephemeral host,
+// registers the managers listed in -to, and runs the Figure 2 check
+// protocol through Host.CheckContext.
+func runCheck(node wanac.Transport, targets []target, app wire.AppID, user wire.UserID, quorum int, timeout time.Duration, args []string) error {
+	right := wire.RightUse
+	if len(args) >= 4 && args[3] == "manage" {
+		right = wire.RightManage
+	}
+	managers := make([]wire.NodeID, len(targets))
+	for i, tgt := range targets {
+		managers[i] = tgt.id
+	}
+	host := core.NewHost(node.ID(), node, nil, nil)
+	if err := host.RegisterApp(app, core.HostAppConfig{
+		Managers: managers,
+		Policy: core.Policy{
+			CheckQuorum:  quorum,
+			Te:           time.Minute,
+			QueryTimeout: timeout / 2,
+			MaxAttempts:  2,
+		},
+	}); err != nil {
+		return err
+	}
+	node.SetHandler(host)
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	d, err := host.CheckContext(ctx, app, user, right)
+	if err != nil {
+		return err
+	}
+	if !d.Allowed {
+		return fmt.Errorf("denied: %s lacks %s on %s (confirmations %d/%d)",
+			user, right, app, d.Confirmations, quorum)
+	}
+	fmt.Printf("allowed: %s has %s on %s (%d confirmations in %d attempt(s))\n",
+		user, right, app, d.Confirmations, d.Attempts)
+	return nil
+}
+
+type target struct {
+	id   wire.NodeID
+	addr string
+}
+
+func parseTargets(s string) ([]target, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-to is required")
+	}
+	var out []target
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad -to entry %q (want id=addr)", part)
+		}
+		out = append(out, target{wire.NodeID(kv[0]), kv[1]})
+	}
+	return out, nil
 }
 
 type handlerFunc func(from wire.NodeID, msg wire.Message)

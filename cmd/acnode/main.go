@@ -1,6 +1,6 @@
-// Command acnode runs a protocol node over real TCP sockets: a manager
-// holding authoritative ACLs or an application host enforcing access
-// control in front of a demo application.
+// Command acnode runs a protocol node over real sockets: a manager holding
+// authoritative ACLs or an application host enforcing access control in
+// front of a demo application.
 //
 // A three-manager deployment with one host on localhost:
 //
@@ -11,15 +11,27 @@
 //	acnode -id m2 -listen 127.0.0.1:7002 ...
 //	acnode -id h0 -listen 127.0.0.1:7100 -role host -app stocks \
 //	       -peers m0=127.0.0.1:7000,m1=127.0.0.1:7001,m2=127.0.0.1:7002 \
-//	       -c 2 -te 60s
+//	       -c 2 -te 60s -debug.addr 127.0.0.1:7180
 //
-// Then drive it with acctl (grant/revoke/check/invoke).
+// Then drive it with acctl (grant/revoke/check/invoke). With -debug.addr
+// set, the node serves an operational endpoint:
+//
+//	/debug/vars   expvar JSON including wanac.transport / wanac.host /
+//	              wanac.manager counter snapshots
+//	/debug/pprof  the standard pprof profiles
+//	/debug/check  (hosts) run an access check: ?app=stocks&user=alice&right=use
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -27,55 +39,57 @@ import (
 	"syscall"
 	"time"
 
+	"wanac"
 	"wanac/internal/auth"
 	"wanac/internal/core"
-	"wanac/internal/tcpnet"
 	"wanac/internal/trace"
-	"wanac/internal/udpnet"
 	"wanac/internal/wire"
 )
 
 func main() {
-	var (
-		id      = flag.String("id", "", "node id (required)")
-		listen  = flag.String("listen", "127.0.0.1:0", "listen address")
-		role    = flag.String("role", "host", "manager | host")
-		app     = flag.String("app", "app", "application id")
-		peers   = flag.String("peers", "", "comma-separated id=addr manager list (required)")
-		c       = flag.Int("c", 1, "check quorum C")
-		te      = flag.Duration("te", time.Minute, "revocation bound Te")
-		ti      = flag.Duration("ti", 0, "freeze inaccessibility period (0 = quorum strategy)")
-		manage  = flag.String("manage", "", "comma-separated users seeded with the manage right (managers)")
-		use     = flag.String("use", "", "comma-separated users seeded with the use right (managers)")
-		timeout = flag.Duration("timeout", 2*time.Second, "host query timeout")
-		r       = flag.Int("r", 3, "host max attempts R")
-		avail   = flag.Bool("default-allow", false, "host: allow by default after R failed attempts (Figure 4)")
-		state   = flag.String("state", "", "manager: state snapshot file (loaded at boot, saved on shutdown)")
-		trans   = flag.String("transport", "tcp", "tcp | udp (udp matches the paper's unreliable network most literally)")
-		keyring = flag.String("keyring", "", "keyring.json from ackeygen: require sealed, signed user traffic")
-	)
+	var cfg nodeConfig
+	flag.StringVar(&cfg.id, "id", "", "node id (required)")
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:0", "listen address")
+	flag.StringVar(&cfg.role, "role", "host", "manager | host")
+	flag.StringVar(&cfg.app, "app", "app", "application id")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated id=addr manager list (required)")
+	flag.IntVar(&cfg.c, "c", 1, "check quorum C")
+	flag.DurationVar(&cfg.te, "te", time.Minute, "revocation bound Te")
+	flag.DurationVar(&cfg.ti, "ti", 0, "freeze inaccessibility period (0 = quorum strategy)")
+	flag.StringVar(&cfg.manage, "manage", "", "comma-separated users seeded with the manage right (managers)")
+	flag.StringVar(&cfg.use, "use", "", "comma-separated users seeded with the use right (managers)")
+	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Second, "host query timeout")
+	flag.IntVar(&cfg.r, "r", 3, "host max attempts R")
+	flag.BoolVar(&cfg.defaultAllow, "default-allow", false, "host: allow by default after R failed attempts (Figure 4)")
+	flag.StringVar(&cfg.stateFile, "state", "", "manager: state snapshot file (loaded at boot, saved on shutdown)")
+	flag.StringVar(&cfg.trans, "transport", "tcp", "tcp | udp (udp matches the paper's unreliable network most literally)")
+	flag.StringVar(&cfg.keyringPath, "keyring", "", "keyring.json from ackeygen: require sealed, signed user traffic")
+	flag.StringVar(&cfg.debugAddr, "debug.addr", "", "serve expvar+pprof (and /debug/check on hosts) on this address")
+	flag.DurationVar(&cfg.statsEvery, "stats", 0, "log transport stats at this interval (0 = off)")
 	flag.Parse()
-	if err := run(*id, *listen, *role, *app, *peers, *c, *te, *ti, *manage, *use, *timeout, *r, *avail, *state, *trans, *keyring); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "acnode:", err)
 		os.Exit(1)
 	}
 }
 
-// transport unifies the TCP and UDP endpoints for acnode's wiring.
-type transport interface {
-	core.Env
-	Addr() string
-	Close() error
+type nodeConfig struct {
+	id, listen, role, app, peers  string
+	c, r                          int
+	te, ti, timeout, statsEvery   time.Duration
+	manage, use                   string
+	defaultAllow                  bool
+	stateFile, trans, keyringPath string
+	debugAddr                     string
 }
 
-func run(id, listen, role, app, peers string, c int, te, ti time.Duration,
-	manage, use string, timeout time.Duration, r int, defaultAllow bool, stateFile, trans, keyringPath string) error {
-	if id == "" || peers == "" {
+func run(cfg nodeConfig) error {
+	if cfg.id == "" || cfg.peers == "" {
 		return fmt.Errorf("-id and -peers are required")
 	}
 	var ring *auth.Keyring
-	if keyringPath != "" {
-		f, err := os.Open(keyringPath)
+	if cfg.keyringPath != "" {
+		f, err := os.Open(cfg.keyringPath)
 		if err != nil {
 			return err
 		}
@@ -84,93 +98,69 @@ func run(id, listen, role, app, peers string, c int, te, ti time.Duration,
 		if err != nil {
 			return err
 		}
-		log.Printf("%s loaded keyring with %d users: unauthenticated user traffic will be rejected", id, ring.Len())
+		log.Printf("%s loaded keyring with %d users: unauthenticated user traffic will be rejected", cfg.id, ring.Len())
 	}
-	peerAddrs, order, err := parsePeers(peers)
+	peerAddrs, order, err := parsePeers(cfg.peers)
 	if err != nil {
 		return err
 	}
 
-	var (
-		node       transport
-		setHandler func(h interface {
-			HandleMessage(from wire.NodeID, msg wire.Message)
-		})
-	)
-	switch trans {
-	case "tcp":
-		n, err := tcpnet.Listen(wire.NodeID(id), listen)
-		if err != nil {
-			return err
-		}
-		for pid, addr := range peerAddrs {
-			if pid != wire.NodeID(id) {
-				n.AddPeer(pid, addr)
-			}
-		}
-		node = n
-		setHandler = func(h interface {
-			HandleMessage(from wire.NodeID, msg wire.Message)
-		}) {
-			n.SetHandler(h)
-		}
-	case "udp":
-		n, err := udpnet.Listen(wire.NodeID(id), listen)
-		if err != nil {
-			return err
-		}
-		for pid, addr := range peerAddrs {
-			if pid == wire.NodeID(id) {
-				continue
-			}
-			if err := n.AddPeer(pid, addr); err != nil {
-				return err
-			}
-		}
-		node = n
-		setHandler = func(h interface {
-			HandleMessage(from wire.NodeID, msg wire.Message)
-		}) {
-			n.SetHandler(h)
-		}
-	default:
-		return fmt.Errorf("unknown transport %q", trans)
+	var opts []wanac.TransportOption
+	if cfg.statsEvery > 0 {
+		opts = append(opts, wanac.WithStatsInterval(cfg.statsEvery))
+	}
+	node, err := wanac.Listen(cfg.trans, wire.NodeID(cfg.id), cfg.listen, opts...)
+	if err != nil {
+		return err
 	}
 	defer node.Close()
-	log.Printf("%s listening on %s (role=%s app=%s transport=%s)", id, node.Addr(), role, app, trans)
+	for pid, addr := range peerAddrs {
+		if pid == wire.NodeID(cfg.id) {
+			continue
+		}
+		if err := node.AddPeer(pid, addr); err != nil {
+			return err
+		}
+	}
+	log.Printf("%s listening on %s (role=%s app=%s transport=%s)",
+		cfg.id, node.Addr(), cfg.role, cfg.app, cfg.trans)
 
 	tracer := logTracer{}
-	var saveState func()
-	switch role {
+	var (
+		saveState func()
+		host      *core.Host
+		mgr       *core.Manager
+	)
+	switch cfg.role {
 	case "manager":
-		mgr := core.NewManager(wire.NodeID(id), node, tracer, ring)
-		if err := mgr.AddApp(wire.AppID(app), core.ManagerAppConfig{
+		mgr = core.NewManager(wire.NodeID(cfg.id), node, tracer, ring)
+		if err := mgr.AddApp(wire.AppID(cfg.app), core.ManagerAppConfig{
 			Peers:       order,
-			CheckQuorum: c,
-			Te:          te,
-			FreezeTi:    ti,
+			CheckQuorum: cfg.c,
+			Te:          cfg.te,
+			FreezeTi:    cfg.ti,
 		}); err != nil {
 			return err
 		}
-		for _, u := range splitUsers(manage) {
-			mgr.Seed(wire.AppID(app), u, wire.RightManage)
+		for _, u := range splitUsers(cfg.manage) {
+			mgr.Seed(wire.AppID(cfg.app), u, wire.RightManage)
 		}
-		for _, u := range splitUsers(use) {
-			mgr.Seed(wire.AppID(app), u, wire.RightUse)
+		for _, u := range splitUsers(cfg.use) {
+			mgr.Seed(wire.AppID(cfg.app), u, wire.RightUse)
 		}
-		if stateFile != "" {
-			if f, err := os.Open(stateFile); err == nil {
+		if cfg.stateFile != "" {
+			if f, err := os.Open(cfg.stateFile); err == nil {
 				loadErr := mgr.LoadState(f)
 				f.Close()
 				if loadErr != nil {
 					return loadErr
 				}
-				log.Printf("%s restored state from %s", id, stateFile)
+				log.Printf("%s restored state from %s", cfg.id, cfg.stateFile)
 			} else if !os.IsNotExist(err) {
 				return err
 			}
 			saveState = func() {
-				f, err := os.CreateTemp(filepath.Dir(stateFile), ".acnode-state-*")
+				f, err := os.CreateTemp(filepath.Dir(cfg.stateFile), ".acnode-state-*")
 				if err != nil {
 					log.Printf("save state: %v", err)
 					return
@@ -182,25 +172,25 @@ func run(id, listen, role, app, peers string, c int, te, ti time.Duration,
 					return
 				}
 				f.Close()
-				if err := os.Rename(f.Name(), stateFile); err != nil {
+				if err := os.Rename(f.Name(), cfg.stateFile); err != nil {
 					log.Printf("save state: %v", err)
 					os.Remove(f.Name())
 					return
 				}
-				log.Printf("%s saved state to %s", id, stateFile)
+				log.Printf("%s saved state to %s", cfg.id, cfg.stateFile)
 			}
 		}
-		setHandler(mgr)
+		node.SetHandler(mgr)
 	case "host":
-		host := core.NewHost(wire.NodeID(id), node, tracer, ring)
-		if err := host.RegisterApp(wire.AppID(app), core.HostAppConfig{
+		host = core.NewHost(wire.NodeID(cfg.id), node, tracer, ring)
+		if err := host.RegisterApp(wire.AppID(cfg.app), core.HostAppConfig{
 			Managers: order,
 			Policy: core.Policy{
-				CheckQuorum:  c,
-				Te:           te,
-				QueryTimeout: timeout,
-				MaxAttempts:  r,
-				DefaultAllow: defaultAllow,
+				CheckQuorum:  cfg.c,
+				Te:           cfg.te,
+				QueryTimeout: cfg.timeout,
+				MaxAttempts:  cfg.r,
+				DefaultAllow: cfg.defaultAllow,
 			},
 			App: core.ApplicationFunc(func(user wire.UserID, payload []byte) []byte {
 				return []byte(fmt.Sprintf("hello %s, you sent %q at %s",
@@ -209,9 +199,17 @@ func run(id, listen, role, app, peers string, c int, te, ti time.Duration,
 		}); err != nil {
 			return err
 		}
-		setHandler(host)
+		node.SetHandler(host)
 	default:
-		return fmt.Errorf("unknown role %q", role)
+		return fmt.Errorf("unknown role %q", cfg.role)
+	}
+
+	if cfg.debugAddr != "" {
+		stop, err := startDebugServer(cfg.debugAddr, node, host, mgr, wire.AppID(cfg.app))
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -220,8 +218,87 @@ func run(id, listen, role, app, peers string, c int, te, ti time.Duration,
 	if saveState != nil {
 		saveState()
 	}
-	log.Printf("%s shutting down", id)
+	log.Printf("%s shutting down", cfg.id)
 	return nil
+}
+
+// startDebugServer serves the operational endpoint: expvar (with the
+// transport and protocol counters published), the pprof profiles, and — on
+// hosts — a live /debug/check. host and mgr may be nil.
+func startDebugServer(addr string, node wanac.Transport, host *core.Host, mgr *core.Manager, app wire.AppID) (func(), error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listen: %w", err)
+	}
+	expvar.Publish("wanac.transport", expvar.Func(func() any { return node.Stats() }))
+	if host != nil {
+		expvar.Publish("wanac.host", expvar.Func(func() any { return host.Stats() }))
+	}
+	if mgr != nil {
+		expvar.Publish("wanac.manager", expvar.Func(func() any { return mgr.Stats() }))
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if host != nil {
+		mux.HandleFunc("/debug/check", func(w http.ResponseWriter, r *http.Request) {
+			serveCheck(w, r, host, app)
+		})
+	}
+
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			log.Printf("debug server: %v", err)
+		}
+	}()
+	log.Printf("debug endpoint on http://%s/debug/vars", l.Addr())
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}, nil
+}
+
+// serveCheck runs a blocking access check with the request's context: the
+// HTTP client's deadline (or disconnect) cancels the wait, while the
+// protocol round continues in the background.
+func serveCheck(w http.ResponseWriter, r *http.Request, host *core.Host, defaultApp wire.AppID) {
+	q := r.URL.Query()
+	app := wire.AppID(q.Get("app"))
+	if app == "" {
+		app = defaultApp
+	}
+	user := wire.UserID(q.Get("user"))
+	if user == "" {
+		http.Error(w, "missing user parameter", http.StatusBadRequest)
+		return
+	}
+	right := wire.RightUse
+	switch q.Get("right") {
+	case "", "use":
+	case "manage":
+		right = wire.RightManage
+	default:
+		http.Error(w, "right must be use or manage", http.StatusBadRequest)
+		return
+	}
+	d, err := host.CheckContext(r.Context(), app, user, right)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		App  wire.AppID  `json:"app"`
+		User wire.UserID `json:"user"`
+		core.Decision
+	}{app, user, d})
 }
 
 func parsePeers(s string) (map[wire.NodeID]string, []wire.NodeID, error) {

@@ -25,9 +25,13 @@ import (
 // in the background; a later retry may hit its cached result.
 var ErrCanceled = errors.New("core: blocking call canceled")
 
-// CheckWait performs an access check and blocks until the decision is
-// available or ctx is done.
-func (h *Host) CheckWait(ctx context.Context, app wire.AppID, user wire.UserID, right wire.Right) (Decision, error) {
+// CheckContext performs an access check and blocks until the decision is
+// available or ctx is done. On cancellation it returns an error joining
+// ErrCanceled with ctx.Err(); the underlying protocol exchange continues in
+// the background, so a prompt retry typically hits the freshly cached
+// result. A manager-side timeout is not an error: it resolves to the
+// policy's default decision (deny unless configured otherwise).
+func (h *Host) CheckContext(ctx context.Context, app wire.AppID, user wire.UserID, right wire.Right) (Decision, error) {
 	ch := make(chan Decision, 1)
 	h.Check(app, user, right, func(d Decision) { ch <- d })
 	select {
@@ -36,6 +40,14 @@ func (h *Host) CheckWait(ctx context.Context, app wire.AppID, user wire.UserID, 
 	case <-ctx.Done():
 		return Decision{}, errors.Join(ErrCanceled, ctx.Err())
 	}
+}
+
+// CheckWait performs an access check and blocks until the decision is
+// available or ctx is done.
+//
+// Deprecated: use CheckContext, which this delegates to.
+func (h *Host) CheckWait(ctx context.Context, app wire.AppID, user wire.UserID, right wire.Right) (Decision, error) {
+	return h.CheckContext(ctx, app, user, right)
 }
 
 // SubmitWait issues an access-control operation and blocks until the update

@@ -59,6 +59,34 @@ func TestCheckWaitCanceled(t *testing.T) {
 	}
 }
 
+func TestCheckContextCanceled(t *testing.T) {
+	env := newFakeEnv()
+	h := NewHost("h0", env, nil, nil)
+	if err := h.RegisterApp("a", HostAppConfig{
+		Managers: []wire.NodeID{"m0"},
+		Policy:   Policy{CheckQuorum: 1, QueryTimeout: time.Hour},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := h.CheckContext(ctx, "a", "u", wire.RightUse)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want ErrCanceled joined with context.Canceled", err)
+	}
+	// The protocol round keeps running: a late response still fills the
+	// cache, so the retry succeeds immediately.
+	nonce := env.lastQueryNonce(t)
+	h.HandleMessage("m0", wire.Response{App: "a", User: "u", Right: wire.RightUse, Nonce: nonce, Granted: true})
+	d, err := h.CheckContext(context.Background(), "a", "u", wire.RightUse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Allowed || !d.CacheHit {
+		t.Errorf("retry decision = %+v, want cached allow", d)
+	}
+}
+
 func TestSubmitWaitSingleManager(t *testing.T) {
 	m := NewManager("m0", newFakeEnv(), nil, nil)
 	if err := m.AddApp("a", ManagerAppConfig{Peers: []wire.NodeID{"m0"}, CheckQuorum: 1}); err != nil {

@@ -1,0 +1,86 @@
+package netcore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"wanac/internal/wire"
+)
+
+// Frame layout, shared by both live transports:
+//
+//	payload := uvarint(len(id)) ++ id ++ wire.Marshal(msg)
+//
+// Datagram transports (udpnet) put one payload in each datagram. Stream
+// transports (tcpnet) prefix each payload with a big-endian u32 length. The
+// MaxFrame bound applies to the payload in both directions: an oversized
+// outbound message is refused at encode time (and counted as a drop by the
+// caller) instead of being written to a peer that would reject it.
+
+// EncodeFrame builds a datagram payload. It fails if the payload would
+// exceed maxFrame.
+func EncodeFrame(from wire.NodeID, msg wire.Message, maxFrame int) ([]byte, error) {
+	id := []byte(from)
+	buf := binary.AppendUvarint(make([]byte, 0, 1+len(id)+64), uint64(len(id)))
+	buf = append(buf, id...)
+	buf, err := wire.AppendMarshal(buf, msg)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > maxFrame {
+		return nil, fmt.Errorf("netcore: frame too large (%d > %d bytes)", len(buf), maxFrame)
+	}
+	return buf, nil
+}
+
+// DecodeFrame parses a datagram payload.
+func DecodeFrame(data []byte) (wire.NodeID, wire.Message, error) {
+	idLen, n := binary.Uvarint(data)
+	if n <= 0 || idLen > uint64(len(data)-n) {
+		return "", nil, errors.New("netcore: bad sender id")
+	}
+	from := wire.NodeID(data[n : n+int(idLen)])
+	msg, err := wire.Unmarshal(data[n+int(idLen):])
+	if err != nil {
+		return "", nil, err
+	}
+	return from, msg, nil
+}
+
+// EncodeStreamFrame builds a length-prefixed stream frame. It fails if the
+// payload would exceed maxFrame.
+func EncodeStreamFrame(from wire.NodeID, msg wire.Message, maxFrame int) ([]byte, error) {
+	id := []byte(from)
+	buf := make([]byte, 4, 4+1+len(id)+64)
+	buf = binary.AppendUvarint(buf, uint64(len(id)))
+	buf = append(buf, id...)
+	buf, err := wire.AppendMarshal(buf, msg)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf)-4 > maxFrame {
+		return nil, fmt.Errorf("netcore: frame too large (%d > %d bytes)", len(buf)-4, maxFrame)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	return buf, nil
+}
+
+// ReadStreamFrame reads one length-prefixed frame, rejecting sizes outside
+// (0, maxFrame].
+func ReadStreamFrame(r io.Reader, maxFrame int) (wire.NodeID, wire.Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", nil, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size == 0 || size > uint32(maxFrame) {
+		return "", nil, fmt.Errorf("netcore: bad frame size %d", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", nil, err
+	}
+	return DecodeFrame(buf)
+}

@@ -1,0 +1,245 @@
+// Package netcore is the shared production transport core under the live
+// transports (internal/tcpnet, internal/udpnet). It owns everything the two
+// transports used to duplicate or lack:
+//
+//   - per-peer bounded outbound queues drained by dedicated writer
+//     goroutines, so a protocol-side Send never blocks, dials, or waits on a
+//     slow peer's socket (overflow drops the oldest frame and counts it);
+//   - automatic reconnect with exponential backoff plus jitter and a
+//     per-peer health state machine (connecting / up / backoff);
+//   - shared frame encoding/decoding with the frame-size bound enforced on
+//     both directions;
+//   - graceful close that drains queues up to a deadline;
+//   - a TransportStats snapshot (sends, drops, dials, dial failures,
+//     reconnects, bytes in/out, queue depth, peer health) in the same style
+//     as core.HostStats/ManagerStats.
+//
+// The transports stay thin: they own their sockets (listeners, read loops,
+// address books) and hand netcore a DialFunc per peer; netcore owns the
+// outbound path.
+package netcore
+
+import (
+	"log"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"wanac/internal/wire"
+)
+
+// Handler receives messages from the network. Both live transports dispatch
+// inbound traffic through this interface (it has the same shape as the
+// simulator's handler, so protocol nodes plug into either unchanged).
+type Handler interface {
+	HandleMessage(from wire.NodeID, msg wire.Message)
+}
+
+// DefaultMaxFrame bounds frame size in both directions (1 MiB) so a
+// misbehaving peer cannot exhaust memory and a buggy caller cannot wedge a
+// connection with an unbounded write.
+const DefaultMaxFrame = 1 << 20
+
+// Config tunes a transport's outbound path. The zero value is usable:
+// withDefaults fills every field a deployment does not set.
+type Config struct {
+	// QueueDepth bounds each peer's outbound queue. When the queue is full
+	// the oldest frame is dropped (and counted) — under backpressure the
+	// freshest protocol traffic is the most useful, since the protocol's own
+	// retry machinery regenerates anything older.
+	QueueDepth int
+	// DialTimeout bounds one connection attempt.
+	DialTimeout time.Duration
+	// BackoffMin and BackoffMax bound the exponential redial backoff. The
+	// actual wait is jittered within [d/2, d] so a restarted manager is not
+	// hit by every host at the same instant.
+	BackoffMin, BackoffMax time.Duration
+	// WriteTimeout bounds one frame write on a stream connection.
+	WriteTimeout time.Duration
+	// ReadIdleTimeout, when positive, closes stream connections that deliver
+	// no frame for this long (the protocol's heartbeats and retries keep
+	// healthy links chatty). Zero disables the idle check.
+	ReadIdleTimeout time.Duration
+	// DrainTimeout bounds how long Close keeps draining queued frames before
+	// dropping the remainder.
+	DrainTimeout time.Duration
+	// MaxFrame bounds frame size in both directions.
+	MaxFrame int
+	// StatsInterval, when positive, publishes a TransportStats snapshot to
+	// StatsSink every interval (defaulting to the process log when no sink
+	// is set).
+	StatsInterval time.Duration
+	// StatsSink receives periodic snapshots when StatsInterval is set.
+	StatsSink func(TransportStats)
+	// Dialer opens raw connections for stream transports. Tests inject
+	// blocking or failing dialers here; nil uses net.DialTimeout.
+	Dialer func(network, addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// withDefaults returns cfg with unset fields filled in.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 3 * time.Second
+	}
+	if c.BackoffMax < c.BackoffMin {
+		c.BackoffMax = c.BackoffMin
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.Dialer == nil {
+		c.Dialer = net.DialTimeout
+	}
+	return c
+}
+
+// Option adjusts a Config. The facade (wanac.Listen) and the transports'
+// ListenConfig constructors accept options so deployments tune the
+// transport without reaching into internal packages.
+type Option func(*Config)
+
+// WithQueueDepth bounds each peer's outbound queue.
+func WithQueueDepth(n int) Option { return func(c *Config) { c.QueueDepth = n } }
+
+// WithBackoff bounds the exponential redial backoff.
+func WithBackoff(min, max time.Duration) Option {
+	return func(c *Config) { c.BackoffMin, c.BackoffMax = min, max }
+}
+
+// WithDialTimeout bounds one connection attempt.
+func WithDialTimeout(d time.Duration) Option { return func(c *Config) { c.DialTimeout = d } }
+
+// WithWriteTimeout bounds one frame write on a stream connection.
+func WithWriteTimeout(d time.Duration) Option { return func(c *Config) { c.WriteTimeout = d } }
+
+// WithDrainTimeout bounds how long Close drains queued frames.
+func WithDrainTimeout(d time.Duration) Option { return func(c *Config) { c.DrainTimeout = d } }
+
+// WithMaxFrame bounds frame size in both directions.
+func WithMaxFrame(n int) Option { return func(c *Config) { c.MaxFrame = n } }
+
+// WithStatsInterval publishes TransportStats snapshots every d.
+func WithStatsInterval(d time.Duration) Option { return func(c *Config) { c.StatsInterval = d } }
+
+// WithStatsSink directs periodic snapshots to fn instead of the process log.
+func WithStatsSink(fn func(TransportStats)) Option { return func(c *Config) { c.StatsSink = fn } }
+
+// BuildConfig applies opts to a default Config.
+func BuildConfig(opts ...Option) Config {
+	var c Config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.withDefaults()
+}
+
+// State is a peer's connection health.
+type State int32
+
+// The health state machine: a peer starts Connecting, moves to Up when a
+// connection is established (dialed or adopted from an inbound accept), and
+// to Backoff after a failed dial until the jittered backoff expires.
+const (
+	StateConnecting State = iota
+	StateUp
+	StateBackoff
+)
+
+// String returns the lowercase state name.
+func (s State) String() string {
+	switch s {
+	case StateConnecting:
+		return "connecting"
+	case StateUp:
+		return "up"
+	case StateBackoff:
+		return "backoff"
+	default:
+		return "unknown"
+	}
+}
+
+// Counters are the transport's monotonic event counts, maintained with
+// atomics so read loops, writer goroutines, and Stats snapshots never
+// contend.
+type Counters struct {
+	// Sends counts Send calls (whether or not the frame was ultimately
+	// delivered).
+	Sends atomic.Uint64
+	// Drops counts frames dropped anywhere on the outbound path: unknown
+	// peer, encode failure, queue overflow, undeliverable after dial
+	// failure, or discarded by Close's drain deadline.
+	Drops atomic.Uint64
+	// Dials counts connection attempts.
+	Dials atomic.Uint64
+	// DialFailures counts connection attempts that failed.
+	DialFailures atomic.Uint64
+	// Reconnects counts successful dials that re-established a previously
+	// up peer.
+	Reconnects atomic.Uint64
+	// BytesIn and BytesOut count frame bytes crossing the wire.
+	BytesIn, BytesOut atomic.Uint64
+}
+
+// TransportStats is a point-in-time snapshot of a transport's activity,
+// mirroring the core.HostStats/ManagerStats style.
+type TransportStats struct {
+	// Sends counts Send calls.
+	Sends uint64 `json:"sends"`
+	// Drops counts frames dropped on the outbound path (overflow, unknown
+	// peer, dial failure, drain deadline).
+	Drops uint64 `json:"drops"`
+	// Dials counts connection attempts; DialFailures the failed ones.
+	Dials        uint64 `json:"dials"`
+	DialFailures uint64 `json:"dial_failures"`
+	// Reconnects counts re-established connections to previously up peers.
+	Reconnects uint64 `json:"reconnects"`
+	// BytesIn and BytesOut count frame bytes received and written.
+	BytesIn  uint64 `json:"bytes_in"`
+	BytesOut uint64 `json:"bytes_out"`
+	// QueueDepth is the current total of frames queued across peers.
+	QueueDepth int `json:"queue_depth"`
+	// PeersUp, PeersConnecting, and PeersBackoff count peers by health
+	// state.
+	PeersUp         int `json:"peers_up"`
+	PeersConnecting int `json:"peers_connecting"`
+	PeersBackoff    int `json:"peers_backoff"`
+}
+
+// snapshot loads the counter half of a TransportStats.
+func (c *Counters) snapshot() TransportStats {
+	return TransportStats{
+		Sends:        c.Sends.Load(),
+		Drops:        c.Drops.Load(),
+		Dials:        c.Dials.Load(),
+		DialFailures: c.DialFailures.Load(),
+		Reconnects:   c.Reconnects.Load(),
+		BytesIn:      c.BytesIn.Load(),
+		BytesOut:     c.BytesOut.Load(),
+	}
+}
+
+// logSink is the default StatsSink: one line on the process log, the same
+// place acnode's tracer writes.
+func logSink(name string) func(TransportStats) {
+	return func(st TransportStats) {
+		log.Printf("%s transport: sends=%d drops=%d dials=%d dial_failures=%d reconnects=%d in=%dB out=%dB queued=%d up=%d connecting=%d backoff=%d",
+			name, st.Sends, st.Drops, st.Dials, st.DialFailures, st.Reconnects,
+			st.BytesIn, st.BytesOut, st.QueueDepth, st.PeersUp, st.PeersConnecting, st.PeersBackoff)
+	}
+}

@@ -1,0 +1,360 @@
+package netcore
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"wanac/internal/wire"
+)
+
+// Sender is one transport-specific way to put a frame on the wire: a TCP
+// connection with a write deadline, or a UDP socket bound to a peer
+// address. WriteFrame may block (bounded by the transport's deadlines); it
+// is only ever called from the peer's writer goroutine.
+type Sender interface {
+	WriteFrame(frame []byte) error
+	Close() error
+}
+
+// DialFunc establishes a Sender to a peer. It is called only from the
+// peer's writer goroutine, never under a lock, so one peer's slow dial
+// cannot delay any other peer's traffic. A nil DialFunc means the peer is
+// reachable only through adopted inbound connections.
+type DialFunc func() (Sender, error)
+
+// Peer owns one remote node's outbound path: a bounded drop-oldest frame
+// queue, a dedicated writer goroutine that drains it, and the reconnect
+// state machine. Enqueue never blocks; all dialing, backoff waiting, and
+// socket writing happens on the writer goroutine.
+type Peer struct {
+	id  wire.NodeID
+	cfg Config
+	ctr *Counters
+
+	// wake nudges the writer: new frame, adopted sender, redirect, close.
+	wake chan struct{}
+	// done closes when the writer goroutine has exited.
+	done chan struct{}
+
+	mu    sync.Mutex
+	q     [][]byte // outbound frames; qhead indexes the oldest
+	qhead int
+	dial  DialFunc
+	cur   Sender
+	state State
+	// everUp marks that the peer had a connection at least once, so the
+	// next successful dial counts as a reconnect.
+	everUp bool
+	// backoff is the current (un-jittered) redial delay; backoffUntil gates
+	// the next dial attempt.
+	backoff      time.Duration
+	backoffUntil time.Time
+	closed       bool
+	drainBy      time.Time
+}
+
+// newPeer creates a peer and starts its writer goroutine. cfg must already
+// have defaults applied.
+func newPeer(id wire.NodeID, cfg Config, ctr *Counters, dial DialFunc) *Peer {
+	p := &Peer{
+		id:    id,
+		cfg:   cfg,
+		ctr:   ctr,
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		dial:  dial,
+		state: StateConnecting,
+	}
+	go p.run()
+	return p
+}
+
+// ID returns the peer's node id.
+func (p *Peer) ID() wire.NodeID { return p.id }
+
+// Enqueue queues a frame for the writer goroutine, dropping the oldest
+// queued frame when the queue is full. It never blocks.
+func (p *Peer) Enqueue(frame []byte) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.ctr.Drops.Add(1)
+		return
+	}
+	if len(p.q)-p.qhead >= p.cfg.QueueDepth {
+		p.q[p.qhead] = nil
+		p.qhead++
+		p.ctr.Drops.Add(1)
+	}
+	// Reclaim the drained prefix once it dominates the backing array.
+	if p.qhead > 32 && p.qhead*2 >= len(p.q) {
+		n := copy(p.q, p.q[p.qhead:])
+		clear(p.q[n:])
+		p.q = p.q[:n]
+		p.qhead = 0
+	}
+	p.q = append(p.q, frame)
+	p.mu.Unlock()
+	p.nudge()
+}
+
+// Adopt hands the peer an inbound connection to use for replies. It is
+// ignored when the peer is closed or already has a live sender (the caller
+// keeps ownership in that case).
+func (p *Peer) Adopt(s Sender) bool {
+	p.mu.Lock()
+	if p.closed || p.cur != nil {
+		p.mu.Unlock()
+		return false
+	}
+	p.cur = s
+	p.state = StateUp
+	p.everUp = true
+	p.backoff = 0
+	p.backoffUntil = time.Time{}
+	p.mu.Unlock()
+	p.nudge()
+	return true
+}
+
+// Discard drops s if it is the peer's current sender (a read loop saw the
+// connection die, or a write failed) and closes it. The writer redials on
+// the next frame.
+func (p *Peer) Discard(s Sender) {
+	p.mu.Lock()
+	if p.cur == s {
+		p.cur = nil
+		if p.state == StateUp {
+			p.state = StateConnecting
+		}
+	}
+	p.mu.Unlock()
+	s.Close()
+	p.nudge()
+}
+
+// SetDial installs or replaces the peer's dial function. When dropCurrent
+// is set (the peer's address changed) any live connection is discarded so
+// no further frame is written to the stale destination, and the backoff
+// clock restarts for the new address.
+func (p *Peer) SetDial(dial DialFunc, dropCurrent bool) {
+	p.mu.Lock()
+	p.dial = dial
+	var stale Sender
+	if dropCurrent {
+		stale = p.cur
+		p.cur = nil
+		if p.state == StateUp {
+			p.state = StateConnecting
+		}
+	}
+	p.backoff = 0
+	p.backoffUntil = time.Time{}
+	if p.state == StateBackoff {
+		p.state = StateConnecting
+	}
+	p.mu.Unlock()
+	if stale != nil {
+		stale.Close()
+	}
+	p.nudge()
+}
+
+// ClearBackoff lets the writer dial immediately (a datagram transport
+// learned a fresh address for the peer).
+func (p *Peer) ClearBackoff() {
+	p.mu.Lock()
+	p.backoff = 0
+	p.backoffUntil = time.Time{}
+	if p.state == StateBackoff {
+		p.state = StateConnecting
+	}
+	p.mu.Unlock()
+	p.nudge()
+}
+
+// beginClose stops accepting frames and lets the writer drain what is
+// queued until deadline. Wait blocks until the writer has exited.
+func (p *Peer) beginClose(deadline time.Time) {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.drainBy = deadline
+	}
+	p.mu.Unlock()
+	p.nudge()
+}
+
+// Wait blocks until the writer goroutine has exited.
+func (p *Peer) Wait() { <-p.done }
+
+// status reports the queue depth and health state for stats snapshots.
+func (p *Peer) status() (depth int, state State) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.q) - p.qhead, p.state
+}
+
+// State returns the peer's current health state.
+func (p *Peer) State() State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// nudge wakes the writer goroutine without blocking.
+func (p *Peer) nudge() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the writer goroutine: pop a frame (respecting backoff and drain
+// deadlines), deliver it (dialing as needed), repeat until closed.
+func (p *Peer) run() {
+	defer close(p.done)
+	for {
+		frame, ok := p.next()
+		if !ok {
+			break
+		}
+		p.deliver(frame)
+	}
+	p.mu.Lock()
+	dropped := len(p.q) - p.qhead
+	p.q, p.qhead = nil, 0
+	cur := p.cur
+	p.cur = nil
+	p.mu.Unlock()
+	if dropped > 0 {
+		p.ctr.Drops.Add(uint64(dropped))
+	}
+	if cur != nil {
+		cur.Close()
+	}
+}
+
+// next blocks until a frame is ready to deliver. While the peer is in
+// backoff with no live sender, queued frames wait (accumulating sends drop
+// oldest) until the backoff expires. Returns false when the peer is closed
+// and the queue is drained or the drain deadline passed.
+func (p *Peer) next() ([]byte, bool) {
+	for {
+		p.mu.Lock()
+		now := time.Now()
+		empty := len(p.q) == p.qhead
+		if p.closed && (empty || now.After(p.drainBy)) {
+			p.mu.Unlock()
+			return nil, false
+		}
+		var wait time.Duration = -1
+		if !empty {
+			if p.cur != nil || p.state != StateBackoff || !now.Before(p.backoffUntil) {
+				frame := p.q[p.qhead]
+				p.q[p.qhead] = nil
+				p.qhead++
+				p.mu.Unlock()
+				return frame, true
+			}
+			wait = p.backoffUntil.Sub(now)
+		}
+		if p.closed {
+			if d := p.drainBy.Sub(now); wait < 0 || d < wait {
+				wait = d
+			}
+		}
+		p.mu.Unlock()
+		if wait < 0 {
+			<-p.wake
+			continue
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-p.wake:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// deliver writes one frame, establishing a connection if needed. A write
+// failure discards the connection and retries once on a fresh one; if no
+// connection can be established the frame is dropped (unreliable-network
+// semantics — the protocol's retries provide liveness).
+func (p *Peer) deliver(frame []byte) {
+	for attempt := 0; attempt < 2; attempt++ {
+		s := p.sender()
+		if s == nil {
+			p.ctr.Drops.Add(1)
+			return
+		}
+		if err := s.WriteFrame(frame); err != nil {
+			p.Discard(s)
+			continue
+		}
+		p.ctr.BytesOut.Add(uint64(len(frame)))
+		return
+	}
+	p.ctr.Drops.Add(1)
+}
+
+// sender returns the current sender, dialing one if necessary. On dial
+// failure it arms the jittered exponential backoff and returns nil.
+func (p *Peer) sender() Sender {
+	p.mu.Lock()
+	if s := p.cur; s != nil {
+		p.mu.Unlock()
+		return s
+	}
+	dial := p.dial
+	if dial == nil {
+		p.mu.Unlock()
+		return nil
+	}
+	p.state = StateConnecting
+	p.mu.Unlock()
+
+	p.ctr.Dials.Add(1)
+	s, err := dial()
+
+	p.mu.Lock()
+	if err != nil {
+		p.ctr.DialFailures.Add(1)
+		if p.backoff == 0 {
+			p.backoff = p.cfg.BackoffMin
+		} else if p.backoff *= 2; p.backoff > p.cfg.BackoffMax {
+			p.backoff = p.cfg.BackoffMax
+		}
+		// Jitter within [d/2, d] so a fleet of hosts does not redial a
+		// restarted manager in lockstep.
+		d := p.backoff/2 + rand.N(p.backoff/2+1)
+		p.backoffUntil = time.Now().Add(d)
+		p.state = StateBackoff
+		p.mu.Unlock()
+		return nil
+	}
+	if p.cur != nil {
+		// An inbound connection was adopted while we dialed; prefer it.
+		existing := p.cur
+		p.mu.Unlock()
+		s.Close()
+		return existing
+	}
+	if p.closed && time.Now().After(p.drainBy) {
+		p.mu.Unlock()
+		s.Close()
+		return nil
+	}
+	p.cur = s
+	p.state = StateUp
+	if p.everUp {
+		p.ctr.Reconnects.Add(1)
+	}
+	p.everUp = true
+	p.backoff = 0
+	p.backoffUntil = time.Time{}
+	p.mu.Unlock()
+	return s
+}

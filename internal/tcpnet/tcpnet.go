@@ -1,55 +1,65 @@
 // Package tcpnet runs the protocol nodes over real TCP connections. It
-// implements core.Env with the system clock and a connection manager that
-// lazily dials peers, so the exact same Host/Manager state machines that
-// run in the simulator also serve live traffic (cmd/acnode).
+// implements core.Env with the system clock and the netcore transport core:
+// every peer has a bounded outbound queue drained by a dedicated writer
+// goroutine, so Send never blocks or dials on the caller's goroutine, and
+// dead peers are redialed with jittered exponential backoff without ever
+// delaying traffic to healthy peers (cmd/acnode).
 //
 // Transport semantics match the paper's network assumption: delivery is not
-// guaranteed. Send failures (peer down, connection reset) silently drop the
-// message; the protocol's retry/retransmission machinery provides liveness.
+// guaranteed. Send failures (peer down, queue overflow, connection reset)
+// drop the message — counted in Stats — and the protocol's
+// retry/retransmission machinery provides liveness.
 package tcpnet
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wanac/internal/core"
+	"wanac/internal/netcore"
 	"wanac/internal/wire"
 )
 
-// maxFrame bounds incoming frame size (1 MiB) to stop a misbehaving peer
-// from exhausting memory.
-const maxFrame = 1 << 20
+// maxFrame bounds frame size (1 MiB) in both directions, stopping a
+// misbehaving peer from exhausting memory and an oversized outbound message
+// from wedging a connection.
+const maxFrame = netcore.DefaultMaxFrame
 
 // Handler receives messages from the network (same shape as the
 // simulator's handler).
-type Handler interface {
-	HandleMessage(from wire.NodeID, msg wire.Message)
-}
+type Handler = netcore.Handler
 
 // Node is one TCP endpoint hosting a protocol node.
 type Node struct {
 	id       wire.NodeID
 	listener net.Listener
+	cfg      netcore.Config
+	group    *netcore.Group
 
-	mu       sync.Mutex
-	peers    map[wire.NodeID]string // address book
-	conns    map[wire.NodeID]net.Conn
-	allConns map[net.Conn]struct{} // every live conn, for shutdown
-	handler  Handler
-	closed   bool
+	mu      sync.Mutex
+	addrs   map[wire.NodeID]string // address book
+	conns   map[net.Conn]struct{}  // every live conn, for shutdown
+	handler Handler
+	closed  bool
 
 	wg sync.WaitGroup
 }
 
 var _ core.Env = (*Node)(nil)
 
-// Listen starts a node listening on addr ("127.0.0.1:0" picks a free port).
+// Listen starts a node listening on addr ("127.0.0.1:0" picks a free port)
+// with default transport tuning.
 func Listen(id wire.NodeID, addr string) (*Node, error) {
+	return ListenConfig(id, addr, netcore.BuildConfig())
+}
+
+// ListenConfig starts a node with explicit transport tuning (queue depth,
+// backoff, deadlines — see netcore.Config).
+func ListenConfig(id wire.NodeID, addr string, cfg netcore.Config) (*Node, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet listen: %w", err)
@@ -57,10 +67,11 @@ func Listen(id wire.NodeID, addr string) (*Node, error) {
 	n := &Node{
 		id:       id,
 		listener: l,
-		peers:    make(map[wire.NodeID]string),
-		conns:    make(map[wire.NodeID]net.Conn),
-		allConns: make(map[net.Conn]struct{}),
+		addrs:    make(map[wire.NodeID]string),
+		conns:    make(map[net.Conn]struct{}),
 	}
+	n.group = netcore.NewGroup(string(id), cfg)
+	n.cfg = n.group.Config()
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -72,6 +83,10 @@ func (n *Node) ID() wire.NodeID { return n.id }
 // Addr returns the bound listen address.
 func (n *Node) Addr() string { return n.listener.Addr().String() }
 
+// Stats returns a snapshot of the transport's counters, queue depths, and
+// peer health.
+func (n *Node) Stats() netcore.TransportStats { return n.group.Stats() }
+
 // SetHandler installs the protocol node that receives inbound messages.
 // Must be called before peers start sending.
 func (n *Node) SetHandler(h Handler) {
@@ -80,11 +95,21 @@ func (n *Node) SetHandler(h Handler) {
 	n.handler = h
 }
 
-// AddPeer registers the address for a node id.
-func (n *Node) AddPeer(id wire.NodeID, addr string) {
+// AddPeer registers the address for a node id. Re-pointing an existing peer
+// at a new address drops any connection to the old address, so no frame is
+// ever written to the stale destination.
+func (n *Node) AddPeer(id wire.NodeID, addr string) error {
+	if id == "" || addr == "" {
+		return fmt.Errorf("tcpnet: empty peer id or address")
+	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.peers[id] = addr
+	old, had := n.addrs[id]
+	n.addrs[id] = addr
+	n.mu.Unlock()
+	if p := n.group.Get(id); p != nil {
+		p.SetDial(n.dialFunc(id, addr), had && old != addr)
+	}
+	return nil
 }
 
 // Now implements core.Env with the system clock.
@@ -99,70 +124,90 @@ type timerHandle struct{ t *time.Timer }
 
 func (h timerHandle) Stop() bool { return h.t.Stop() }
 
-// Send implements core.Env: best-effort delivery to the named peer. Unknown
-// peers and I/O errors drop the message silently (unreliable network).
+// Send implements core.Env: best-effort delivery to the named peer. The
+// frame is queued on the peer's writer goroutine and this call returns
+// immediately; unknown peers, oversized messages, and queue overflow drop
+// the message (unreliable network), counted in Stats.
 func (n *Node) Send(to wire.NodeID, msg wire.Message) {
-	conn, err := n.conn(to)
+	ctr := n.group.Counters()
+	ctr.Sends.Add(1)
+	frame, err := netcore.EncodeStreamFrame(n.id, msg, n.cfg.MaxFrame)
 	if err != nil {
+		ctr.Drops.Add(1)
 		return
 	}
-	frame, err := encodeFrame(n.id, msg)
-	if err != nil {
+	p := n.peer(to)
+	if p == nil {
+		ctr.Drops.Add(1)
 		return
 	}
-	if _, err := conn.Write(frame); err != nil {
-		n.dropConn(to, conn)
-	}
+	p.Enqueue(frame)
 }
 
-// conn returns (dialing if necessary) the connection to a peer.
-func (n *Node) conn(to wire.NodeID) (net.Conn, error) {
+// peer returns the netcore peer for id, creating it if the address book
+// knows the address (or an inbound connection registered the id). Returns
+// nil for unknown peers.
+func (n *Node) peer(id wire.NodeID) *netcore.Peer {
+	if p := n.group.Get(id); p != nil {
+		return p
+	}
 	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return nil, errors.New("tcpnet: node closed")
-	}
-	if c, ok := n.conns[to]; ok {
-		n.mu.Unlock()
-		return c, nil
-	}
-	addr, ok := n.peers[to]
+	addr, ok := n.addrs[id]
 	n.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("tcpnet: unknown peer %s", to)
+		return nil
 	}
-	c, err := net.DialTimeout("tcp", addr, time.Second)
-	if err != nil {
-		return nil, err
-	}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		c.Close()
-		return nil, errors.New("tcpnet: node closed")
-	}
-	if existing, ok := n.conns[to]; ok { // lost the race: reuse the winner
-		n.mu.Unlock()
-		c.Close()
-		return existing, nil
-	}
-	n.conns[to] = c
-	n.allConns[c] = struct{}{}
-	n.mu.Unlock()
-	// Responses may come back on the same connection.
-	n.wg.Add(1)
-	go n.readLoop(c, to)
-	return c, nil
+	return n.group.Ensure(id, n.dialFunc(id, addr))
 }
 
-func (n *Node) dropConn(id wire.NodeID, c net.Conn) {
-	n.mu.Lock()
-	if cur, ok := n.conns[id]; ok && cur == c {
-		delete(n.conns, id)
+// dialFunc builds the netcore DialFunc for one peer address: dial with
+// timeout, register the connection, start its read loop (responses come
+// back on the same connection), and hand netcore a deadline-enforcing
+// sender. Runs only on the peer's writer goroutine.
+func (n *Node) dialFunc(id wire.NodeID, addr string) netcore.DialFunc {
+	return func() (netcore.Sender, error) {
+		c, err := n.cfg.Dialer("tcp", addr, n.cfg.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if !n.register(c) {
+			c.Close()
+			return nil, errors.New("tcpnet: node closed")
+		}
+		s := &connSender{conn: c, timeout: n.cfg.WriteTimeout}
+		n.wg.Add(1)
+		go n.readLoop(c, s, id)
+		return s, nil
 	}
-	n.mu.Unlock()
-	c.Close()
 }
+
+// register tracks a live connection for shutdown; it refuses connections
+// once the node is closed.
+func (n *Node) register(c net.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	n.conns[c] = struct{}{}
+	return true
+}
+
+// connSender writes length-prefixed frames with a per-write deadline.
+type connSender struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (s *connSender) WriteFrame(frame []byte) error {
+	if s.timeout > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
+	}
+	_, err := s.conn.Write(frame)
+	return err
+}
+
+func (s *connSender) Close() error { return s.conn.Close() }
 
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
@@ -171,55 +216,60 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		n.mu.Lock()
-		if n.closed {
-			n.mu.Unlock()
+		if !n.register(c) {
 			c.Close()
 			return
 		}
-		n.allConns[c] = struct{}{}
-		n.mu.Unlock()
 		n.wg.Add(1)
-		go n.readLoop(c, "")
+		go n.readLoop(c, nil, "")
 	}
 }
 
-// readLoop decodes frames from one connection. For accepted connections the
-// peer id comes from the frames themselves; the first frame also registers
-// the connection for replies.
-func (n *Node) readLoop(c net.Conn, expect wire.NodeID) {
+// readLoop decodes frames from one connection. For accepted connections
+// (sender == nil) the peer id comes from the frames themselves; the first
+// frame offers the connection to that peer for replies. For dialed
+// connections the peer id is pinned and mismatching frames kill the
+// connection.
+func (n *Node) readLoop(c net.Conn, sender netcore.Sender, expect wire.NodeID) {
 	defer n.wg.Done()
+	adoptedBy := expect
+	var adopted netcore.Sender = sender
 	defer func() {
 		c.Close()
 		n.mu.Lock()
-		delete(n.allConns, c)
-		// Drop routing entries that point at this dead connection so the
-		// next Send redials (or uses a fresher inbound connection) instead
-		// of writing into a closed socket.
-		for id, cur := range n.conns {
-			if cur == c {
-				delete(n.conns, id)
+		delete(n.conns, c)
+		n.mu.Unlock()
+		// Detach the dead connection from its peer so the writer redials
+		// (or uses a fresher inbound connection) instead of writing into a
+		// closed socket.
+		if adopted != nil {
+			if p := n.group.Get(adoptedBy); p != nil {
+				p.Discard(adopted)
 			}
 		}
-		n.mu.Unlock()
 	}()
+	r := &countingReader{conn: c, bytes: &n.group.Counters().BytesIn}
 	for {
-		from, msg, err := readFrame(c)
+		if n.cfg.ReadIdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(n.cfg.ReadIdleTimeout))
+		}
+		from, msg, err := netcore.ReadStreamFrame(r, n.cfg.MaxFrame)
 		if err != nil {
-			if expect != "" {
-				n.dropConn(expect, c)
-			}
 			return
 		}
 		if expect != "" && from != expect {
 			return // peer lied about its identity on a dialed connection
 		}
+		if adopted == nil {
+			// Remember the inbound connection for replies to this peer. The
+			// peer keeps it only while it has no live connection of its own.
+			s := &connSender{conn: c, timeout: n.cfg.WriteTimeout}
+			if p := n.inboundPeer(from); p != nil && p.Adopt(s) {
+				adopted, adoptedBy = s, from
+			}
+		}
 		n.mu.Lock()
 		h := n.handler
-		if _, ok := n.conns[from]; !ok && !n.closed {
-			// Remember the inbound connection for replies to this peer.
-			n.conns[from] = c
-		}
 		n.mu.Unlock()
 		if h != nil {
 			h.HandleMessage(from, msg)
@@ -227,7 +277,44 @@ func (n *Node) readLoop(c net.Conn, expect wire.NodeID) {
 	}
 }
 
-// Close shuts the node down and waits for its goroutines.
+// countingReader tallies received bytes into the transport's BytesIn
+// counter as frames are read off a connection.
+type countingReader struct {
+	conn  net.Conn
+	bytes *atomic.Uint64
+}
+
+func (r *countingReader) Read(p []byte) (int, error) {
+	n, err := r.conn.Read(p)
+	if n > 0 {
+		r.bytes.Add(uint64(n))
+	}
+	return n, err
+}
+
+// inboundPeer returns (creating if necessary) the peer record for an id
+// seen on an accepted connection. The peer dials through the address book
+// when the id is known there, and is reply-only otherwise.
+func (n *Node) inboundPeer(id wire.NodeID) *netcore.Peer {
+	if p := n.group.Get(id); p != nil {
+		return p
+	}
+	n.mu.Lock()
+	addr, ok := n.addrs[id]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil
+	}
+	var dial netcore.DialFunc
+	if ok {
+		dial = n.dialFunc(id, addr)
+	}
+	return n.group.Ensure(id, dial)
+}
+
+// Close shuts the node down: stop accepting, drain outbound queues up to
+// the drain deadline, close every connection, and wait for all goroutines.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -235,63 +322,21 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
-	conns := make([]net.Conn, 0, len(n.allConns))
-	for c := range n.allConns {
-		conns = append(conns, c)
-	}
-	n.conns = make(map[wire.NodeID]net.Conn)
-	n.allConns = make(map[net.Conn]struct{})
 	n.mu.Unlock()
 
 	err := n.listener.Close()
+	// Drain writers first so queued frames get a chance to flush through
+	// still-open connections.
+	n.group.Close()
+	n.mu.Lock()
+	conns := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
 	for _, c := range conns {
 		c.Close()
 	}
 	n.wg.Wait()
 	return err
-}
-
-// Frame format: u32 big-endian length, then uvarint-prefixed sender id,
-// then the binary-marshaled message.
-func encodeFrame(from wire.NodeID, msg wire.Message) ([]byte, error) {
-	body, err := wire.Marshal(msg)
-	if err != nil {
-		return nil, err
-	}
-	id := []byte(from)
-	payload := make([]byte, 0, 4+1+len(id)+len(body))
-	payload = append(payload, 0, 0, 0, 0)
-	payload = binary.AppendUvarint(payload, uint64(len(id)))
-	payload = append(payload, id...)
-	payload = append(payload, body...)
-	if len(payload)-4 > maxFrame {
-		return nil, fmt.Errorf("tcpnet: frame too large (%d bytes)", len(payload)-4)
-	}
-	binary.BigEndian.PutUint32(payload[:4], uint32(len(payload)-4))
-	return payload, nil
-}
-
-func readFrame(r io.Reader) (wire.NodeID, wire.Message, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return "", nil, err
-	}
-	size := binary.BigEndian.Uint32(lenBuf[:])
-	if size == 0 || size > maxFrame {
-		return "", nil, fmt.Errorf("tcpnet: bad frame size %d", size)
-	}
-	buf := make([]byte, size)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", nil, err
-	}
-	idLen, nn := binary.Uvarint(buf)
-	if nn <= 0 || idLen > uint64(len(buf)-nn) {
-		return "", nil, errors.New("tcpnet: bad sender id")
-	}
-	from := wire.NodeID(buf[nn : nn+int(idLen)])
-	msg, err := wire.Unmarshal(buf[nn+int(idLen):])
-	if err != nil {
-		return "", nil, err
-	}
-	return from, msg, nil
 }

@@ -1,12 +1,14 @@
 package tcpnet
 
 import (
-	"bytes"
+	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"wanac/internal/core"
+	"wanac/internal/netcore"
 	"wanac/internal/wire"
 )
 
@@ -33,14 +35,30 @@ func (c *collector) last() wire.Envelope {
 	return c.got[len(c.got)-1]
 }
 
+// fastConfig keeps retry/drain waits short so tests close quickly.
+func fastConfig() netcore.Config {
+	return netcore.BuildConfig(
+		netcore.WithBackoff(10*time.Millisecond, 100*time.Millisecond),
+		netcore.WithDialTimeout(500*time.Millisecond),
+		netcore.WithDrainTimeout(100*time.Millisecond),
+	)
+}
+
 func listen(t *testing.T, id wire.NodeID) *Node {
 	t.Helper()
-	n, err := Listen(id, "127.0.0.1:0")
+	n, err := ListenConfig(id, "127.0.0.1:0", fastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { n.Close() })
 	return n
+}
+
+func addPeer(t *testing.T, n *Node, id wire.NodeID, addr string) {
+	t.Helper()
+	if err := n.AddPeer(id, addr); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func waitFor(t *testing.T, cond func() bool) {
@@ -54,41 +72,12 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 }
 
-func TestFrameRoundTrip(t *testing.T) {
-	frame, err := encodeFrame("node-a", wire.Query{App: "x", User: "u", Right: wire.RightUse, Nonce: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	from, msg, err := readFrame(bytes.NewReader(frame))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if from != "node-a" {
-		t.Errorf("from = %q", from)
-	}
-	if q, ok := msg.(wire.Query); !ok || q.Nonce != 3 {
-		t.Errorf("msg = %#v", msg)
-	}
-}
-
-func TestFrameRejectsBadSizes(t *testing.T) {
-	if _, _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
-		t.Error("zero-size frame accepted")
-	}
-	if _, _, err := readFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})); err == nil {
-		t.Error("oversized frame accepted")
-	}
-	if _, _, err := readFrame(bytes.NewReader([]byte{0, 0})); err == nil {
-		t.Error("truncated header accepted")
-	}
-}
-
 func TestSendReceive(t *testing.T) {
 	a := listen(t, "a")
 	b := listen(t, "b")
 	rec := &collector{}
 	b.SetHandler(rec)
-	a.AddPeer("b", b.Addr())
+	addPeer(t, a, "b", b.Addr())
 
 	a.Send("b", wire.Heartbeat{Nonce: 42})
 	waitFor(t, func() bool { return rec.count() == 1 })
@@ -98,6 +87,14 @@ func TestSendReceive(t *testing.T) {
 	}
 	if hb, ok := env.Msg.(wire.Heartbeat); !ok || hb.Nonce != 42 {
 		t.Errorf("msg = %#v", env.Msg)
+	}
+	waitFor(t, func() bool { return a.Stats().BytesOut > 0 })
+	st := a.Stats()
+	if st.Sends != 1 || st.Drops != 0 || st.Dials != 1 || st.PeersUp != 1 {
+		t.Errorf("sender stats = %+v", st)
+	}
+	if bst := b.Stats(); bst.BytesIn == 0 {
+		t.Errorf("receiver stats = %+v", bst)
 	}
 }
 
@@ -112,7 +109,7 @@ func TestReplyOverInboundConnection(t *testing.T) {
 			b.Send(from, wire.HeartbeatAck{Nonce: hb.Nonce})
 		}
 	}))
-	a.AddPeer("b", b.Addr())
+	addPeer(t, a, "b", b.Addr())
 	a.Send("b", wire.Heartbeat{Nonce: 7})
 	waitFor(t, func() bool { return recA.count() == 1 })
 	if ack, ok := recA.last().Msg.(wire.HeartbeatAck); !ok || ack.Nonce != 7 {
@@ -123,12 +120,16 @@ func TestReplyOverInboundConnection(t *testing.T) {
 func TestSendToUnknownPeerDrops(t *testing.T) {
 	a := listen(t, "a")
 	a.Send("ghost", wire.Heartbeat{}) // must not panic or block
+	st := a.Stats()
+	if st.Sends != 1 || st.Drops != 1 {
+		t.Errorf("stats = %+v, want sends=1 drops=1", st)
+	}
 }
 
 func TestSendAfterPeerClosedDrops(t *testing.T) {
 	a := listen(t, "a")
 	b := listen(t, "b")
-	a.AddPeer("b", b.Addr())
+	addPeer(t, a, "b", b.Addr())
 	a.Send("b", wire.Heartbeat{Nonce: 1})
 	b.Close()
 	time.Sleep(20 * time.Millisecond)
@@ -136,6 +137,107 @@ func TestSendAfterPeerClosedDrops(t *testing.T) {
 	// fails to redial.
 	a.Send("b", wire.Heartbeat{Nonce: 2})
 	a.Send("b", wire.Heartbeat{Nonce: 3})
+}
+
+// TestSlowPeerDialDoesNotBlockHealthySends is the regression test for the
+// old transport's worst production hazard: Send used to dial on the
+// caller's goroutine, so one blackholed peer (dial hangs until timeout)
+// stalled the Host's entire check path. With per-peer writer goroutines the
+// send to the healthy peer must be delivered while the blackholed dial is
+// still hanging.
+func TestSlowPeerDialDoesNotBlockHealthySends(t *testing.T) {
+	const deadAddr = "192.0.2.1:9" // TEST-NET-1: never dialed, dialer intercepts
+	unblock := make(chan struct{})
+	cfg := fastConfig()
+	cfg.Dialer = func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		if addr == deadAddr {
+			<-unblock // a blackholed route: the dial just hangs
+			return nil, errors.New("blackholed")
+		}
+		return net.DialTimeout(network, addr, timeout)
+	}
+	a, err := ListenConfig("a", "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unblock the hung dial before Close waits for the writer goroutines.
+	t.Cleanup(func() { a.Close() })
+	t.Cleanup(func() { close(unblock) })
+
+	b := listen(t, "b")
+	rec := &collector{}
+	b.SetHandler(rec)
+	addPeer(t, a, "dead", deadAddr)
+	addPeer(t, a, "b", b.Addr())
+
+	a.Send("dead", wire.Heartbeat{Nonce: 1}) // writer for "dead" hangs in dial
+	start := time.Now()
+	a.Send("b", wire.Heartbeat{Nonce: 2})
+	waitFor(t, func() bool { return rec.count() == 1 })
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("healthy send took %v while dead peer was dialing", el)
+	}
+	if st := a.Stats(); st.PeersConnecting != 1 {
+		t.Errorf("stats = %+v, want the dead peer still connecting", st)
+	}
+}
+
+// TestOutboundMaxFrameEnforced: an oversized message is dropped at the
+// sender — never written to the peer — and counted.
+func TestOutboundMaxFrameEnforced(t *testing.T) {
+	cfg := fastConfig()
+	cfg.MaxFrame = 1024
+	a, err := ListenConfig("a", "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b := listen(t, "b")
+	rec := &collector{}
+	b.SetHandler(rec)
+	addPeer(t, a, "b", b.Addr())
+
+	a.Send("b", wire.Invoke{App: "x", User: "u", Payload: make([]byte, 4096)})
+	if st := a.Stats(); st.Drops != 1 {
+		t.Errorf("stats = %+v, want the oversized frame dropped", st)
+	}
+	a.Send("b", wire.Heartbeat{Nonce: 5})
+	waitFor(t, func() bool { return rec.count() == 1 })
+	if hb, ok := rec.last().Msg.(wire.Heartbeat); !ok || hb.Nonce != 5 {
+		t.Errorf("msg = %#v (oversized frame must not corrupt the stream)", rec.last().Msg)
+	}
+}
+
+// TestAddPeerRepointDropsStaleConnection: re-pointing an id at a new
+// address must stop writing to the old destination immediately.
+func TestAddPeerRepointDropsStaleConnection(t *testing.T) {
+	a := listen(t, "a")
+	oldB := listen(t, "b")
+	newB := listen(t, "b")
+	oldRec, newRec := &collector{}, &collector{}
+	oldB.SetHandler(oldRec)
+	newB.SetHandler(newRec)
+
+	addPeer(t, a, "b", oldB.Addr())
+	a.Send("b", wire.Heartbeat{Nonce: 1})
+	waitFor(t, func() bool { return oldRec.count() == 1 })
+
+	addPeer(t, a, "b", newB.Addr())
+	a.Send("b", wire.Heartbeat{Nonce: 2})
+	a.Send("b", wire.Heartbeat{Nonce: 3})
+	waitFor(t, func() bool { return newRec.count() == 2 })
+	if oldRec.count() != 1 {
+		t.Errorf("old destination received %d messages after re-point, want 1", oldRec.count())
+	}
+
+	// Re-adding the same address must not drop the connection.
+	dials := a.Stats().Dials
+	addPeer(t, a, "b", newB.Addr())
+	a.Send("b", wire.Heartbeat{Nonce: 4})
+	waitFor(t, func() bool { return newRec.count() == 3 })
+	if got := a.Stats().Dials; got != dials {
+		t.Errorf("dials went %d -> %d after no-op AddPeer, want unchanged", dials, got)
+	}
 }
 
 // TestProtocolOverTCP runs the full access-control protocol across real
@@ -156,7 +258,7 @@ func TestProtocolOverTCP(t *testing.T) {
 	for _, n := range all {
 		for _, p := range all {
 			if p != n {
-				n.AddPeer(p.ID(), p.Addr())
+				addPeer(t, n, p.ID(), p.Addr())
 			}
 		}
 	}

@@ -4,14 +4,17 @@
 // at this layer; the protocol's own retry/retransmission machinery provides
 // liveness, exactly as designed.
 //
-// Each datagram carries one frame: uvarint-length sender id, then the
-// binary-marshaled message. Frames larger than the configured MTU are
-// dropped on send (the protocol's messages are all far below 1 KiB except
-// pathological sync transfers; those deployments should use tcpnet).
+// The outbound path runs on the netcore transport core: each peer has a
+// bounded drop-oldest queue drained by a dedicated writer goroutine, so
+// Send never blocks on the socket and a burst to one peer cannot stall the
+// protocol goroutine. Each datagram carries one netcore frame:
+// uvarint-length sender id, then the binary-marshaled message. Frames
+// larger than the configured MTU are dropped on send (the protocol's
+// messages are all far below 1 KiB except pathological sync transfers;
+// those deployments should use tcpnet).
 package udpnet
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -19,6 +22,7 @@ import (
 	"time"
 
 	"wanac/internal/core"
+	"wanac/internal/netcore"
 	"wanac/internal/wire"
 )
 
@@ -27,15 +31,14 @@ import (
 const DefaultMTU = 8 << 10
 
 // Handler receives messages from the network.
-type Handler interface {
-	HandleMessage(from wire.NodeID, msg wire.Message)
-}
+type Handler = netcore.Handler
 
 // Node is one UDP endpoint hosting a protocol node.
 type Node struct {
-	id   wire.NodeID
-	conn *net.UDPConn
-	mtu  int
+	id    wire.NodeID
+	conn  *net.UDPConn
+	mtu   int
+	group *netcore.Group
 
 	mu      sync.Mutex
 	peers   map[wire.NodeID]*net.UDPAddr
@@ -48,8 +51,16 @@ type Node struct {
 
 var _ core.Env = (*Node)(nil)
 
-// Listen binds a UDP socket ("127.0.0.1:0" picks a free port).
+// Listen binds a UDP socket ("127.0.0.1:0" picks a free port) with default
+// transport tuning.
 func Listen(id wire.NodeID, addr string) (*Node, error) {
+	return ListenConfig(id, addr, netcore.BuildConfig())
+}
+
+// ListenConfig binds a UDP socket with explicit transport tuning (queue
+// depth, stats publishing — see netcore.Config; dial and stream deadlines
+// do not apply to datagrams).
+func ListenConfig(id wire.NodeID, addr string, cfg netcore.Config) (*Node, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("udpnet resolve: %w", err)
@@ -66,6 +77,7 @@ func Listen(id wire.NodeID, addr string) (*Node, error) {
 		static: make(map[wire.NodeID]bool),
 		done:   make(chan struct{}),
 	}
+	n.group = netcore.NewGroup(string(id), cfg)
 	go n.readLoop()
 	return n, nil
 }
@@ -76,6 +88,10 @@ func (n *Node) ID() wire.NodeID { return n.id }
 // Addr returns the bound address.
 func (n *Node) Addr() string { return n.conn.LocalAddr().String() }
 
+// Stats returns a snapshot of the transport's counters, queue depths, and
+// peer states.
+func (n *Node) Stats() netcore.TransportStats { return n.group.Stats() }
+
 // SetHandler installs the protocol node receiving inbound messages.
 func (n *Node) SetHandler(h Handler) {
 	n.mu.Lock()
@@ -83,16 +99,21 @@ func (n *Node) SetHandler(h Handler) {
 	n.handler = h
 }
 
-// AddPeer registers a peer's address.
+// AddPeer registers a peer's address. Re-pointing an existing peer at a new
+// address takes effect on the next queued frame (datagrams have no
+// connection to drop) and clears any backoff.
 func (n *Node) AddPeer(id wire.NodeID, addr string) error {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return fmt.Errorf("udpnet peer %s: %w", id, err)
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.peers[id] = ua
 	n.static[id] = true
+	n.mu.Unlock()
+	if p := n.group.Get(id); p != nil {
+		p.ClearBackoff()
+	}
 	return nil
 }
 
@@ -108,23 +129,65 @@ type timerHandle struct{ t *time.Timer }
 
 func (h timerHandle) Stop() bool { return h.t.Stop() }
 
-// Send implements core.Env: fire-and-forget datagram. Unknown peers,
-// oversized frames, and socket errors all silently drop the message — UDP
-// semantics, which the protocol is built to tolerate.
+// Send implements core.Env: fire-and-forget datagram, queued on the peer's
+// writer goroutine. Unknown peers, oversized frames, queue overflow, and
+// socket errors all drop the message — UDP semantics, which the protocol is
+// built to tolerate — counted in Stats.
 func (n *Node) Send(to wire.NodeID, msg wire.Message) {
-	n.mu.Lock()
-	addr, ok := n.peers[to]
-	closed := n.closed
-	n.mu.Unlock()
-	if !ok || closed {
+	ctr := n.group.Counters()
+	ctr.Sends.Add(1)
+	limit := n.group.Config().MaxFrame
+	if n.mtu < limit {
+		limit = n.mtu
+	}
+	frame, err := netcore.EncodeFrame(n.id, msg, limit)
+	if err != nil {
+		ctr.Drops.Add(1)
 		return
 	}
-	frame, err := encodeFrame(n.id, msg)
-	if err != nil || len(frame) > n.mtu {
+	p := n.group.Ensure(to, n.dialFunc(to))
+	if p == nil {
+		ctr.Drops.Add(1) // node closed
 		return
 	}
-	_, _ = n.conn.WriteToUDP(frame, addr)
+	p.Enqueue(frame)
 }
+
+// dialFunc builds the netcore DialFunc for a peer: datagrams need no
+// connection, so "dialing" just verifies an address is known (failing into
+// backoff when it is not, which rate-limits sends to unknown peers).
+func (n *Node) dialFunc(id wire.NodeID) netcore.DialFunc {
+	return func() (netcore.Sender, error) {
+		if n.lookupAddr(id) == nil {
+			return nil, fmt.Errorf("udpnet: unknown peer %s", id)
+		}
+		return &udpSender{node: n, id: id}, nil
+	}
+}
+
+func (n *Node) lookupAddr(id wire.NodeID) *net.UDPAddr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peers[id]
+}
+
+// udpSender writes frames to the peer's current address, re-resolved from
+// the address book on every write so learned peers follow rebinds.
+type udpSender struct {
+	node *Node
+	id   wire.NodeID
+}
+
+func (s *udpSender) WriteFrame(frame []byte) error {
+	addr := s.node.lookupAddr(s.id)
+	if addr == nil {
+		return errors.New("udpnet: peer address lost")
+	}
+	_, err := s.node.conn.WriteToUDP(frame, addr)
+	return err
+}
+
+func (s *udpSender) Close() error { return nil }
 
 // readLoop dispatches inbound datagrams until the socket closes. The
 // sender's claimed id routes replies through the address book; ids without
@@ -133,17 +196,20 @@ func (n *Node) Send(to wire.NodeID, msg wire.Message) {
 func (n *Node) readLoop() {
 	defer close(n.done)
 	buf := make([]byte, 64<<10)
+	ctr := n.group.Counters()
 	for {
 		size, src, err := n.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // socket closed
 		}
-		from, msg, err := decodeFrame(buf[:size])
+		ctr.BytesIn.Add(uint64(size))
+		from, msg, err := netcore.DecodeFrame(buf[:size])
 		if err != nil {
 			continue // malformed datagram: drop
 		}
 		n.mu.Lock()
 		h := n.handler
+		learned := false
 		if !n.closed && !n.static[from] {
 			// For ids without a configured address, track the latest
 			// observed source so replies follow peers across rebinds
@@ -152,17 +218,28 @@ func (n *Node) readLoop() {
 			// manager traffic. Address learning is otherwise
 			// unauthenticated, like UDP itself; deployments needing sender
 			// authenticity must layer auth.Seal.
-			cp := *src
-			n.peers[from] = &cp
+			if old := n.peers[from]; old == nil || !old.IP.Equal(src.IP) || old.Port != src.Port {
+				cp := *src
+				n.peers[from] = &cp
+				learned = true
+			}
 		}
 		n.mu.Unlock()
+		if learned {
+			// A fresh address makes the peer deliverable again; let its
+			// writer retry immediately instead of waiting out a backoff.
+			if p := n.group.Get(from); p != nil {
+				p.ClearBackoff()
+			}
+		}
 		if h != nil {
 			h.HandleMessage(from, msg)
 		}
 	}
 }
 
-// Close shuts the socket and waits for the read loop.
+// Close drains outbound queues up to the drain deadline, shuts the socket,
+// and waits for the read loop.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -171,32 +248,8 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	n.mu.Unlock()
+	n.group.Close()
 	err := n.conn.Close()
 	<-n.done
 	return err
-}
-
-func encodeFrame(from wire.NodeID, msg wire.Message) ([]byte, error) {
-	body, err := wire.Marshal(msg)
-	if err != nil {
-		return nil, err
-	}
-	id := []byte(from)
-	frame := binary.AppendUvarint(make([]byte, 0, 1+len(id)+len(body)), uint64(len(id)))
-	frame = append(frame, id...)
-	frame = append(frame, body...)
-	return frame, nil
-}
-
-func decodeFrame(data []byte) (wire.NodeID, wire.Message, error) {
-	idLen, nn := binary.Uvarint(data)
-	if nn <= 0 || idLen > uint64(len(data)-nn) {
-		return "", nil, errors.New("udpnet: bad sender id")
-	}
-	from := wire.NodeID(data[nn : nn+int(idLen)])
-	msg, err := wire.Unmarshal(data[nn+int(idLen):])
-	if err != nil {
-		return "", nil, err
-	}
-	return from, msg, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wanac/internal/core"
+	"wanac/internal/netcore"
 	"wanac/internal/wire"
 )
 
@@ -85,14 +86,18 @@ func TestReplyLearnsSourceAddress(t *testing.T) {
 
 func TestSendUnknownAndOversized(t *testing.T) {
 	a := listen(t, "a")
-	a.Send("ghost", wire.Heartbeat{}) // unknown peer: silent drop
+	a.Send("ghost", wire.Heartbeat{}) // unknown peer: dropped by the writer
 	b := listen(t, "b")
 	if err := a.AddPeer("b", b.Addr()); err != nil {
 		t.Fatal(err)
 	}
 	a.Send("b", wire.Invoke{App: "x", User: "u", Payload: make([]byte, DefaultMTU+1)})
-	// No crash, nothing delivered: give the loop a beat.
-	time.Sleep(20 * time.Millisecond)
+	// Both must drop without crashing or delivering; the oversized frame is
+	// dropped synchronously, the unknown-peer frame on its writer goroutine.
+	waitFor(t, func() bool {
+		st := a.Stats()
+		return st.Sends == 2 && st.Drops == 2
+	})
 }
 
 func TestAddPeerBadAddress(t *testing.T) {
@@ -213,7 +218,7 @@ func TestStaticPeerNotRelearned(t *testing.T) {
 	}
 
 	// The spoofer claims to be m0.
-	spoofed, err := encodeFrame("m0", wire.Heartbeat{Nonce: 666})
+	spoofed, err := netcore.EncodeFrame("m0", wire.Heartbeat{Nonce: 666}, DefaultMTU)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,12 @@ go vet ./...
 echo "== go test -race"
 go test -race "$@" ./...
 
+echo "== transport churn (race, repeated)"
+# The live transports carry real deployments: rerun their suites — including
+# the listener kill/restart churn tests — to shake out timing-dependent
+# races a single pass can miss.
+go test -race -count=2 ./internal/netcore ./internal/tcpnet ./internal/udpnet
+
 echo "== benchmark smoke (one iteration each)"
 # One iteration per benchmark: catches benchmarks that fatal or hang without
 # paying full measurement time. Real numbers come from scripts/bench.sh.

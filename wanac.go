@@ -15,17 +15,21 @@
 //   - Simulation: NewSimulation builds a complete deployment (managers,
 //     hosts, users, partitions) on a deterministic virtual-time network —
 //     see examples/quickstart.
-//   - Live TCP: ListenTCP creates a transport node whose Env drives the
-//     same Host/Manager state machines over real sockets — see cmd/acnode.
+//   - Live deployment: Listen("tcp"|"udp", ...) creates a production
+//     transport node — per-peer send queues, reconnect with backoff, stats —
+//     whose Env drives the same Host/Manager state machines over real
+//     sockets — see cmd/acnode.
 //   - Analysis: PA, PS, Curve, and BestC evaluate the §4.1 formulas for
 //     parameter planning.
 package wanac
 
 import (
+	"fmt"
 	"time"
 
 	"wanac/internal/auth"
 	"wanac/internal/core"
+	"wanac/internal/netcore"
 	"wanac/internal/quorum"
 	"wanac/internal/sim"
 	"wanac/internal/simnet"
@@ -137,11 +141,84 @@ var (
 	SimHostID    = sim.HostID
 )
 
+// Live transport facade.
+
+// Transport is a live network endpoint for a protocol node. It implements
+// Env (pass it to NewHost or NewManager) and adds the operational surface
+// the transports share: an address book, a handler registration, a stats
+// snapshot, and shutdown. Both *TCPNode and *UDPNode satisfy it.
+//
+// Sends never block the caller: each peer has a bounded outbound queue
+// drained by its own writer goroutine, dead peers are redialed with
+// jittered exponential backoff, and overflow drops the oldest frame
+// (counted in Stats) — the protocol's retry machinery provides liveness,
+// per the paper's unreliable-network model (§2.2).
+type Transport interface {
+	Env
+	// ID returns the node id frames are stamped with.
+	ID() NodeID
+	// Addr returns the bound listen address.
+	Addr() string
+	// AddPeer registers (or re-points) the address for a peer id.
+	AddPeer(id NodeID, addr string) error
+	// SetHandler installs the protocol node receiving inbound messages.
+	SetHandler(h TransportHandler)
+	// Stats returns a snapshot of the transport's counters and health.
+	Stats() TransportStats
+	// Close drains outbound queues and shuts the node down.
+	Close() error
+}
+
+type (
+	// TransportHandler receives inbound messages (a Host or Manager).
+	TransportHandler = netcore.Handler
+	// TransportStats is a snapshot of transport counters, queue depth, and
+	// peer health.
+	TransportStats = netcore.TransportStats
+	// TransportOption tunes a transport created by Listen.
+	TransportOption = netcore.Option
+)
+
+// WithQueueDepth bounds each peer's outbound queue (default 128 frames);
+// overflow drops the oldest frame.
+func WithQueueDepth(n int) TransportOption { return netcore.WithQueueDepth(n) }
+
+// WithBackoff sets the reconnect backoff range: delays double from min to
+// max with jitter (defaults 50ms to 3s).
+func WithBackoff(min, max time.Duration) TransportOption { return netcore.WithBackoff(min, max) }
+
+// WithDialTimeout bounds each connection attempt (default 1s).
+func WithDialTimeout(d time.Duration) TransportOption { return netcore.WithDialTimeout(d) }
+
+// WithStatsInterval enables periodic publication of TransportStats (to the
+// log, or to a WithStatsSink function). Zero, the default, disables it.
+func WithStatsInterval(d time.Duration) TransportOption { return netcore.WithStatsInterval(d) }
+
+// WithStatsSink directs periodic stats snapshots to fn instead of the log.
+func WithStatsSink(fn func(TransportStats)) TransportOption { return netcore.WithStatsSink(fn) }
+
+// Listen starts a live transport node on network "tcp" or "udp". TCP gives
+// ordered streams with reconnect; UDP is the most literal realization of
+// the paper's network model — nothing below the protocol retransmits.
+func Listen(network string, id NodeID, addr string, opts ...TransportOption) (Transport, error) {
+	cfg := netcore.BuildConfig(opts...)
+	switch network {
+	case "tcp":
+		return tcpnet.ListenConfig(id, addr, cfg)
+	case "udp":
+		return udpnet.ListenConfig(id, addr, cfg)
+	default:
+		return nil, fmt.Errorf("wanac: unknown network %q (want \"tcp\" or \"udp\")", network)
+	}
+}
+
 // TCPNode is a live TCP transport endpoint implementing Env.
 type TCPNode = tcpnet.Node
 
-// ListenTCP starts a TCP transport node; pass it as the Env of a Host or
-// Manager and register that node with SetHandler.
+// ListenTCP starts a TCP transport node with default tuning.
+//
+// Deprecated: use Listen("tcp", id, addr, opts...), which returns the
+// unified Transport interface and accepts tuning options.
 func ListenTCP(id NodeID, addr string) (*TCPNode, error) { return tcpnet.Listen(id, addr) }
 
 // UDPNode is a live UDP transport endpoint implementing Env — the most
@@ -149,7 +226,9 @@ func ListenTCP(id NodeID, addr string) (*TCPNode, error) { return tcpnet.Listen(
 // nothing below the protocol retransmits.
 type UDPNode = udpnet.Node
 
-// ListenUDP starts a UDP transport node.
+// ListenUDP starts a UDP transport node with default tuning.
+//
+// Deprecated: use Listen("udp", id, addr, opts...).
 func ListenUDP(id NodeID, addr string) (*UDPNode, error) { return udpnet.Listen(id, addr) }
 
 // Analysis re-exports (§4.1).

@@ -1,6 +1,7 @@
 package wanac
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -130,6 +131,74 @@ func TestFacadeTCP(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("timed out")
+	}
+}
+
+// TestFacadeListen runs the unified Transport entry point over both
+// networks: tuned transports, a full grant/check exchange via the blocking
+// CheckContext API, and a stats snapshot.
+func TestFacadeListen(t *testing.T) {
+	for _, network := range []string{"tcp", "udp"} {
+		t.Run(network, func(t *testing.T) {
+			opts := []TransportOption{
+				WithQueueDepth(64),
+				WithBackoff(10*time.Millisecond, 100*time.Millisecond),
+				WithDialTimeout(500 * time.Millisecond),
+			}
+			mgrNode, err := Listen(network, "m0", "127.0.0.1:0", opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mgrNode.Close()
+			hostNode, err := Listen(network, "h0", "127.0.0.1:0", opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hostNode.Close()
+			if err := mgrNode.AddPeer("h0", hostNode.Addr()); err != nil {
+				t.Fatal(err)
+			}
+			if err := hostNode.AddPeer("m0", mgrNode.Addr()); err != nil {
+				t.Fatal(err)
+			}
+
+			mgr := NewManager("m0", mgrNode, nil, nil)
+			if err := mgr.AddApp("demo", ManagerAppConfig{
+				Peers: []NodeID{"m0"}, CheckQuorum: 1, Te: time.Minute,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			mgr.Seed("demo", "alice", RightUse)
+			mgrNode.SetHandler(mgr)
+
+			host := NewHost("h0", hostNode, nil, nil)
+			if err := host.RegisterApp("demo", HostAppConfig{
+				Managers: []NodeID{"m0"},
+				Policy:   Policy{CheckQuorum: 1, Te: time.Minute, QueryTimeout: time.Second, MaxAttempts: 3},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			hostNode.SetHandler(host)
+
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			d, err := host.CheckContext(ctx, "demo", "alice", RightUse)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !d.Allowed {
+				t.Fatalf("decision = %+v", d)
+			}
+			if st := hostNode.Stats(); st.Sends == 0 || st.BytesIn == 0 {
+				t.Errorf("stats = %+v, want traffic recorded", st)
+			}
+		})
+	}
+}
+
+func TestFacadeListenBadNetwork(t *testing.T) {
+	if _, err := Listen("sctp", "x", "127.0.0.1:0"); err == nil {
+		t.Error("unknown network accepted")
 	}
 }
 
