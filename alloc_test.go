@@ -14,6 +14,7 @@ import (
 
 	"wanac/internal/core"
 	"wanac/internal/sim"
+	"wanac/internal/telemetry"
 	"wanac/internal/wire"
 )
 
@@ -37,5 +38,38 @@ func TestCacheHitCheckAllocationBudget(t *testing.T) {
 	})
 	if allocs > 1 {
 		t.Errorf("cached check allocates %.1f objects/op, budget is 1 (the fires slice)", allocs)
+	}
+}
+
+// TestCacheHitCheckAllocationBudgetInstrumented re-runs the cached-check
+// budget with full metrics telemetry attached (counters, latency
+// histograms, per-node gauges — the acnode wiring, minus span streaming,
+// which allocates by design when enabled). Instrumentation must ride the
+// hot path for free: handles are resolved once at setup and updates are
+// plain atomics, so the budget stays 1.
+func TestCacheHitCheckAllocationBudgetInstrumented(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	w, err := sim.Build(sim.Config{
+		Managers: 3, Hosts: 1,
+		Policy:    core.Policy{CheckQuorum: 2, QueryTimeout: time.Second, MaxAttempts: 2},
+		Users:     []wire.UserID{"u"},
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := w.CheckSync(0, "u", wire.RightUse, time.Minute); !ok || !d.Allowed {
+		t.Fatal("warm-up check failed")
+	}
+	nop := func(core.Decision) {}
+	host, app := w.Hosts[0], w.Cfg.App
+	allocs := testing.AllocsPerRun(500, func() {
+		host.Check(app, "u", wire.RightUse, nop)
+	})
+	if allocs > 1 {
+		t.Errorf("instrumented cached check allocates %.1f objects/op, budget is 1 (the fires slice)", allocs)
+	}
+	if n := reg.CounterVec("wanac_host_checks_total", "", "outcome").With("cache_hit").Value(); n < 500 {
+		t.Errorf("cache_hit counter = %d, want >= 500 (instrumentation active)", n)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"wanac/internal/sim"
 	"wanac/internal/simnet"
 	"wanac/internal/tcpnet"
+	"wanac/internal/telemetry"
 	"wanac/internal/wire"
 )
 
@@ -69,13 +70,27 @@ type liveResult struct {
 	BytesOut   uint64  `json:"bytes_out"`
 }
 
+// telemetryResult carries histogram percentile snapshots produced by the
+// telemetry registry — the same machinery acnode's /metrics serves — so
+// BENCH.json records distribution shape, not just the exact sort-based
+// p50/p99 kept above for the RTT leg. The check and quorum entries come
+// from an instrumented simulated deployment (virtual time, Fixed(10ms)
+// links); the cached-check entry is wall-clock.
+type telemetryResult struct {
+	TCPRTT       telemetry.HistogramSummary `json:"tcp_rtt_seconds"`
+	CachedCheck  telemetry.HistogramSummary `json:"check_cache_hit_wall_seconds"`
+	QuorumCheck  telemetry.HistogramSummary `json:"sim_check_allowed_seconds"`
+	UpdateQuorum telemetry.HistogramSummary `json:"sim_update_quorum_latency_seconds"`
+}
+
 type report struct {
-	Commit     string        `json:"commit,omitempty"`
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Micro      []microResult `json:"micro"`
-	MonteCarlo []mcResult    `json:"monte_carlo"`
-	Live       []liveResult  `json:"live"`
+	Commit     string           `json:"commit,omitempty"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Micro      []microResult    `json:"micro"`
+	MonteCarlo []mcResult       `json:"monte_carlo"`
+	Live       []liveResult     `json:"live"`
+	Telemetry  *telemetryResult `json:"telemetry,omitempty"`
 }
 
 func main() {
@@ -226,13 +241,25 @@ func main() {
 		func(p sim.TrialParams) (interface{ String() string }, error) { return sim.EstimatePS(p) })
 
 	fmt.Println()
-	lr, err := liveTCP(*rtts, *liveMsgs)
+	reg := telemetry.NewRegistry()
+	rttHist := reg.Histogram("acbench_tcp_rtt_seconds",
+		"Loopback round-trip latency.", telemetry.ExpBuckets(1e-6, 2, 22))
+	lr, err := liveTCP(*rtts, *liveMsgs, rttHist)
 	if err != nil {
 		fatal(err)
 	}
 	rep.Live = append(rep.Live, lr)
 	fmt.Printf("  %-14s %d round trips: p50 %.1fus p99 %.1fus; %d msgs one-way: %.0f msgs/s (%d delivered, %d dropped)\n",
 		lr.Name, lr.RoundTrips, lr.RTTp50Us, lr.RTTp99Us, lr.Messages, lr.MsgsPerSec, lr.Delivered, lr.Dropped)
+
+	tr, err := telemetrySection(reg, rttHist)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Telemetry = &tr
+	fmt.Printf("  %-14s rtt p50 %.1fus p99 %.1fus; cached check p99 %.0fns; sim quorum check p50 %.0fms; sim update quorum p50 %.0fms\n",
+		"telemetry", tr.TCPRTT.P50*1e6, tr.TCPRTT.P99*1e6, tr.CachedCheck.P99*1e9,
+		tr.QuorumCheck.P50*1e3, tr.UpdateQuorum.P50*1e3)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -244,10 +271,64 @@ func main() {
 	fmt.Printf("\nwrote %s\n", *out)
 }
 
+// telemetrySection produces the registry-backed percentile snapshots: the
+// RTT histogram liveTCP already filled, plus an instrumented simulated
+// deployment driven through fresh quorum checks (virtual time), cached
+// checks (wall-clock), and quorum-acknowledged grants.
+func telemetrySection(reg *telemetry.Registry, rtt *telemetry.Histogram) (telemetryResult, error) {
+	users := make([]wire.UserID, 64)
+	for i := range users {
+		users[i] = wire.UserID(fmt.Sprintf("u%d", i))
+	}
+	w, err := sim.Build(sim.Config{
+		Managers: 3, Hosts: 1,
+		Policy:  core.Policy{CheckQuorum: 2, Te: time.Minute, QueryTimeout: time.Second, MaxAttempts: 3},
+		Te:      time.Minute,
+		Users:   users,
+		NoTrace: true,
+	})
+	if err != nil {
+		return telemetryResult{}, err
+	}
+	htel := core.InstrumentHost(reg, nil, w.Hosts[0])
+	mtel := core.InstrumentManager(reg, nil, w.Managers[0])
+
+	// Fresh quorum-confirmed checks, one per user: each takes a full query
+	// round over the simulated Fixed(10ms) links.
+	for _, u := range users {
+		if d, ok := w.CheckSync(0, u, wire.RightUse, time.Minute); !ok || !d.Allowed {
+			return telemetryResult{}, fmt.Errorf("telemetry: quorum check for %s failed (%+v)", u, d)
+		}
+	}
+	// Cached checks, wall-clock timed through the instrumented path.
+	wall := reg.Histogram("acbench_check_cache_hit_wall_seconds",
+		"Wall-clock latency of a cached access check.", telemetry.ExpBuckets(1e-8, 2, 26))
+	nop := func(core.Decision) {}
+	for i := 0; i < 5000; i++ {
+		t0 := time.Now()
+		w.Hosts[0].Check(w.Cfg.App, users[0], wire.RightUse, nop)
+		wall.Observe(time.Since(t0).Seconds())
+	}
+	// Grants driven to update quorum on manager 0.
+	for i := 0; i < 32; i++ {
+		if r, ok := w.Grant(0, wire.UserID(fmt.Sprintf("g%d", i)), time.Minute); !ok || !r.QuorumReached {
+			return telemetryResult{}, fmt.Errorf("telemetry: grant %d failed (%+v)", i, r)
+		}
+	}
+	return telemetryResult{
+		TCPRTT:       rtt.Summary(),
+		CachedCheck:  wall.Summary(),
+		QuorumCheck:  htel.CheckLatency("allowed").Summary(),
+		UpdateQuorum: mtel.QuorumLatency().Summary(),
+	}, nil
+}
+
 // liveTCP benchmarks the transport over real loopback sockets: rtts
 // sequential Heartbeat→HeartbeatAck round trips for latency percentiles,
 // then msgs one-way sends as fast as the queue accepts them for throughput.
-func liveTCP(rtts, msgs int) (liveResult, error) {
+// Each round trip is also observed into rtt for the registry-backed
+// percentile snapshot.
+func liveTCP(rtts, msgs int, rtt *telemetry.Histogram) (liveResult, error) {
 	cfg := netcore.BuildConfig(netcore.WithQueueDepth(msgs + 64))
 	a, err := tcpnet.ListenConfig("bench-a", "127.0.0.1:0", cfg)
 	if err != nil {
@@ -275,7 +356,9 @@ func liveTCP(rtts, msgs int) (liveResult, error) {
 		a.Send("bench-b", wire.Heartbeat{Nonce: uint64(i)})
 		select {
 		case <-acks:
-			lat = append(lat, time.Since(t0))
+			d := time.Since(t0)
+			lat = append(lat, d)
+			rtt.Observe(d.Seconds())
 		case <-time.After(5 * time.Second):
 			return liveResult{}, fmt.Errorf("live TCP: round trip %d timed out", i)
 		}

@@ -20,9 +20,17 @@
 //	              wanac.manager counter snapshots
 //	/debug/pprof  the standard pprof profiles
 //	/debug/check  (hosts) run an access check: ?app=stocks&user=alice&right=use
+//	/metrics      Prometheus text exposition: check latency histograms by
+//	              outcome, quorum/freeze gauges, transport health
+//
+// With -telemetry.jsonl set, the node streams check-round spans (one JSON
+// object per line) to the given file; spans from a host and its managers
+// share a trace ID, so merging the files reconstructs each check's full
+// lifecycle (see internal/telemetry).
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"expvar"
@@ -42,6 +50,8 @@ import (
 	"wanac"
 	"wanac/internal/auth"
 	"wanac/internal/core"
+	"wanac/internal/netcore"
+	"wanac/internal/telemetry"
 	"wanac/internal/trace"
 	"wanac/internal/wire"
 )
@@ -64,8 +74,9 @@ func main() {
 	flag.StringVar(&cfg.stateFile, "state", "", "manager: state snapshot file (loaded at boot, saved on shutdown)")
 	flag.StringVar(&cfg.trans, "transport", "tcp", "tcp | udp (udp matches the paper's unreliable network most literally)")
 	flag.StringVar(&cfg.keyringPath, "keyring", "", "keyring.json from ackeygen: require sealed, signed user traffic")
-	flag.StringVar(&cfg.debugAddr, "debug.addr", "", "serve expvar+pprof (and /debug/check on hosts) on this address")
+	flag.StringVar(&cfg.debugAddr, "debug.addr", "", "serve expvar+pprof+/metrics (and /debug/check on hosts) on this address")
 	flag.DurationVar(&cfg.statsEvery, "stats", 0, "log transport stats at this interval (0 = off)")
+	flag.StringVar(&cfg.spanPath, "telemetry.jsonl", "", "stream check-round spans to this JSONL file")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "acnode:", err)
@@ -81,28 +92,82 @@ type nodeConfig struct {
 	defaultAllow                  bool
 	stateFile, trans, keyringPath string
 	debugAddr                     string
+	spanPath                      string
+}
+
+// runtime is a started node: the transport, the protocol role on top of
+// it, and the operational surface (registry, debug server, span stream).
+// Tests boot nodes through startNode and drive them directly; main wires
+// the same thing to the signal handler.
+type runtime struct {
+	node wanac.Transport
+	host *core.Host
+	mgr  *core.Manager
+	reg  *telemetry.Registry
+
+	saveState func()
+	stopDebug func()
+	spanFile  *os.File
+	spanBuf   *bufio.Writer
+	spanW     *telemetry.SpanWriter
+}
+
+// Close releases everything startNode acquired: debug server, span
+// stream (flushed), transport. State saving is the caller's decision
+// (main saves on clean shutdown only).
+func (rt *runtime) Close() {
+	if rt.stopDebug != nil {
+		rt.stopDebug()
+	}
+	if rt.spanFile != nil {
+		if rt.spanW.Errors() > 0 {
+			log.Printf("telemetry: %d spans failed to encode", rt.spanW.Errors())
+		}
+		if err := rt.spanBuf.Flush(); err != nil {
+			log.Printf("telemetry: flush spans: %v", err)
+		}
+		rt.spanFile.Close()
+	}
+	rt.node.Close()
 }
 
 func run(cfg nodeConfig) error {
+	rt, err := startNode(cfg)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if rt.saveState != nil {
+		rt.saveState()
+	}
+	log.Printf("%s shutting down", cfg.id)
+	return nil
+}
+
+func startNode(cfg nodeConfig) (*runtime, error) {
 	if cfg.id == "" || cfg.peers == "" {
-		return fmt.Errorf("-id and -peers are required")
+		return nil, fmt.Errorf("-id and -peers are required")
 	}
 	var ring *auth.Keyring
 	if cfg.keyringPath != "" {
 		f, err := os.Open(cfg.keyringPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ring, err = auth.LoadKeyring(f)
 		f.Close()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		log.Printf("%s loaded keyring with %d users: unauthenticated user traffic will be rejected", cfg.id, ring.Len())
 	}
 	peerAddrs, order, err := parsePeers(cfg.peers)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	var opts []wanac.TransportOption
@@ -111,36 +176,53 @@ func run(cfg nodeConfig) error {
 	}
 	node, err := wanac.Listen(cfg.trans, wire.NodeID(cfg.id), cfg.listen, opts...)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer node.Close()
+	rt := &runtime{node: node, reg: telemetry.NewRegistry()}
+	fail := func(err error) (*runtime, error) {
+		rt.Close()
+		return nil, err
+	}
 	for pid, addr := range peerAddrs {
 		if pid == wire.NodeID(cfg.id) {
 			continue
 		}
 		if err := node.AddPeer(pid, addr); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 	log.Printf("%s listening on %s (role=%s app=%s transport=%s)",
 		cfg.id, node.Addr(), cfg.role, cfg.app, cfg.trans)
 
-	tracer := logTracer{}
-	var (
-		saveState func()
-		host      *core.Host
-		mgr       *core.Manager
-	)
+	// Telemetry: the transport's counters and peer health re-exported on
+	// the registry, protocol events counted by type, and — when requested
+	// — check-round spans streamed as JSONL.
+	netcore.RegisterTransport(rt.reg, node.Stats)
+	tracer := telemetry.InstrumentTracer(rt.reg, logTracer{})
+	var spans telemetry.SpanRecorder
+	if cfg.spanPath != "" {
+		f, err := os.Create(cfg.spanPath)
+		if err != nil {
+			return fail(fmt.Errorf("telemetry.jsonl: %w", err))
+		}
+		rt.spanFile = f
+		rt.spanBuf = bufio.NewWriter(f)
+		rt.spanW = telemetry.NewSpanWriter(rt.spanBuf)
+		spans = rt.spanW
+		log.Printf("%s streaming check spans to %s", cfg.id, cfg.spanPath)
+	}
+
 	switch cfg.role {
 	case "manager":
-		mgr = core.NewManager(wire.NodeID(cfg.id), node, tracer, ring)
+		rt.mgr = core.NewManager(wire.NodeID(cfg.id), node, tracer, ring)
+		mgr := rt.mgr
 		if err := mgr.AddApp(wire.AppID(cfg.app), core.ManagerAppConfig{
 			Peers:       order,
 			CheckQuorum: cfg.c,
 			Te:          cfg.te,
 			FreezeTi:    cfg.ti,
 		}); err != nil {
-			return err
+			return fail(err)
 		}
 		for _, u := range splitUsers(cfg.manage) {
 			mgr.Seed(wire.AppID(cfg.app), u, wire.RightManage)
@@ -148,18 +230,19 @@ func run(cfg nodeConfig) error {
 		for _, u := range splitUsers(cfg.use) {
 			mgr.Seed(wire.AppID(cfg.app), u, wire.RightUse)
 		}
+		core.InstrumentManager(rt.reg, spans, mgr)
 		if cfg.stateFile != "" {
 			if f, err := os.Open(cfg.stateFile); err == nil {
 				loadErr := mgr.LoadState(f)
 				f.Close()
 				if loadErr != nil {
-					return loadErr
+					return fail(loadErr)
 				}
 				log.Printf("%s restored state from %s", cfg.id, cfg.stateFile)
 			} else if !os.IsNotExist(err) {
-				return err
+				return fail(err)
 			}
-			saveState = func() {
+			rt.saveState = func() {
 				f, err := os.CreateTemp(filepath.Dir(cfg.stateFile), ".acnode-state-*")
 				if err != nil {
 					log.Printf("save state: %v", err)
@@ -182,8 +265,8 @@ func run(cfg nodeConfig) error {
 		}
 		node.SetHandler(mgr)
 	case "host":
-		host = core.NewHost(wire.NodeID(cfg.id), node, tracer, ring)
-		if err := host.RegisterApp(wire.AppID(cfg.app), core.HostAppConfig{
+		rt.host = core.NewHost(wire.NodeID(cfg.id), node, tracer, ring)
+		if err := rt.host.RegisterApp(wire.AppID(cfg.app), core.HostAppConfig{
 			Managers: order,
 			Policy: core.Policy{
 				CheckQuorum:  cfg.c,
@@ -197,45 +280,44 @@ func run(cfg nodeConfig) error {
 					user, payload, time.Now().Format(time.RFC3339)))
 			}),
 		}); err != nil {
-			return err
+			return fail(err)
 		}
-		node.SetHandler(host)
+		core.InstrumentHost(rt.reg, spans, rt.host)
+		node.SetHandler(rt.host)
 	default:
-		return fmt.Errorf("unknown role %q", cfg.role)
+		return fail(fmt.Errorf("unknown role %q", cfg.role))
 	}
 
 	if cfg.debugAddr != "" {
-		stop, err := startDebugServer(cfg.debugAddr, node, host, mgr, wire.AppID(cfg.app))
+		stop, err := startDebugServer(cfg.debugAddr, rt, wire.AppID(cfg.app))
 		if err != nil {
-			return err
+			return fail(err)
 		}
-		defer stop()
+		rt.stopDebug = stop
 	}
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	if saveState != nil {
-		saveState()
-	}
-	log.Printf("%s shutting down", cfg.id)
-	return nil
+	return rt, nil
 }
 
 // startDebugServer serves the operational endpoint: expvar (with the
-// transport and protocol counters published), the pprof profiles, and — on
-// hosts — a live /debug/check. host and mgr may be nil.
-func startDebugServer(addr string, node wanac.Transport, host *core.Host, mgr *core.Manager, app wire.AppID) (func(), error) {
+// transport and protocol counters published), the pprof profiles, the
+// Prometheus /metrics exposition, and — on hosts — a live /debug/check.
+// The /metrics families and the /debug/vars snapshots read the same
+// underlying counters (the transport stats function is shared, and the
+// protocol registry counters are incremented at the same call sites as
+// the stats fields), so the two views agree by construction.
+func startDebugServer(addr string, rt *runtime, app wire.AppID) (func(), error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("debug listen: %w", err)
 	}
-	expvar.Publish("wanac.transport", expvar.Func(func() any { return node.Stats() }))
-	if host != nil {
-		expvar.Publish("wanac.host", expvar.Func(func() any { return host.Stats() }))
+	publishOnce("wanac.transport", expvar.Func(func() any { return rt.node.Stats() }))
+	if rt.host != nil {
+		host := rt.host
+		publishOnce("wanac.host", expvar.Func(func() any { return host.Stats() }))
 	}
-	if mgr != nil {
-		expvar.Publish("wanac.manager", expvar.Func(func() any { return mgr.Stats() }))
+	if rt.mgr != nil {
+		mgr := rt.mgr
+		publishOnce("wanac.manager", expvar.Func(func() any { return mgr.Stats() }))
 	}
 
 	mux := http.NewServeMux()
@@ -245,7 +327,14 @@ func startDebugServer(addr string, node wanac.Transport, host *core.Host, mgr *c
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	if host != nil {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := rt.reg.WritePrometheus(w); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	})
+	if rt.host != nil {
+		host := rt.host
 		mux.HandleFunc("/debug/check", func(w http.ResponseWriter, r *http.Request) {
 			serveCheck(w, r, host, app)
 		})
@@ -263,6 +352,16 @@ func startDebugServer(addr string, node wanac.Transport, host *core.Host, mgr *c
 		defer cancel()
 		srv.Shutdown(ctx)
 	}, nil
+}
+
+// publishOnce publishes an expvar unless the name is already taken —
+// expvar is process-global and Publish panics on duplicates, which
+// matters when tests boot several nodes in one process. In that case the
+// first node wins; production runs one node per process.
+func publishOnce(name string, v expvar.Var) {
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, v)
+	}
 }
 
 // serveCheck runs a blocking access check with the request's context: the

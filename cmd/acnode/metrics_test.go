@@ -1,0 +1,213 @@
+package main
+
+// Live smoke test for the telemetry surface: a two-manager/one-host
+// deployment over real TCP sockets, one access check driven end to end,
+// then the /metrics expositions scraped and the three span streams
+// merged to reconstruct the check round by trace ID. scripts/ci.sh runs
+// this as its metrics gate.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wanac/internal/telemetry"
+	"wanac/internal/wire"
+)
+
+// freeAddr reserves an ephemeral port and releases it, returning the
+// address for a node to bind. The tiny reuse window is acceptable for a
+// smoke test.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func scrape(t *testing.T, addr string) (string, map[string]string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := telemetry.ParseText(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("exposition from %s malformed: %v\n%s", addr, err, body)
+	}
+	return string(body), fams
+}
+
+func TestMetricsEndpointSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sockets")
+	}
+	dir := t.TempDir()
+	m0, m1, h0 := freeAddr(t), freeAddr(t), freeAddr(t)
+	peers := fmt.Sprintf("m0=%s,m1=%s", m0, m1)
+	spanPath := func(id string) string { return filepath.Join(dir, id+".jsonl") }
+
+	var (
+		runtimes   []*runtime
+		debugAddrs []string
+	)
+	for _, n := range []struct {
+		id, listen, role string
+	}{
+		{"m0", m0, "manager"},
+		{"m1", m1, "manager"},
+		{"h0", h0, "host"},
+	} {
+		debug := freeAddr(t)
+		rt, err := startNode(nodeConfig{
+			id: n.id, listen: n.listen, role: n.role, app: "stocks",
+			peers: peers, c: 2, r: 3, te: time.Minute, timeout: 2 * time.Second,
+			trans: "tcp", use: "alice",
+			debugAddr: debug,
+			spanPath:  spanPath(n.id),
+		})
+		if err != nil {
+			t.Fatalf("start %s: %v", n.id, err)
+		}
+		runtimes = append(runtimes, rt)
+		debugAddrs = append(debugAddrs, debug)
+	}
+	defer func() {
+		for _, rt := range runtimes {
+			rt.Close()
+		}
+	}()
+	debugAddrOf := func(i int) string { return debugAddrs[i] }
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	host := runtimes[2].host
+	d, err := host.CheckContext(ctx, "stocks", "alice", wire.RightUse)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !d.Allowed || d.Confirmations < 2 {
+		t.Fatalf("decision = %+v, want allowed with quorum 2", d)
+	}
+
+	// Host exposition: check-latency histogram by outcome, cache gauges,
+	// transport counters.
+	hostOut, hostFams := scrape(t, debugAddrOf(2))
+	for fam, typ := range map[string]string{
+		"wanac_host_checks_total":          "counter",
+		"wanac_host_check_latency_seconds": "histogram",
+		"wanac_host_cache_entries":         "gauge",
+		"wanac_transport_sends_total":      "counter",
+		"wanac_trace_events_total":         "counter",
+	} {
+		if hostFams[fam] != typ {
+			t.Errorf("host exposition: family %s = %q, want %s", fam, hostFams[fam], typ)
+		}
+	}
+	if !strings.Contains(hostOut, `wanac_host_checks_total{outcome="allowed"} 1`) {
+		t.Errorf("host exposition missing allowed check:\n%s", hostOut)
+	}
+	if !strings.Contains(hostOut, `wanac_host_check_latency_seconds_count{outcome="allowed"} 1`) {
+		t.Errorf("host exposition missing latency observation")
+	}
+
+	// Manager exposition: query counters, quorum/freeze gauges.
+	mgrOut, mgrFams := scrape(t, debugAddrOf(0))
+	for fam, typ := range map[string]string{
+		"wanac_manager_queries_total":                 "counter",
+		"wanac_manager_update_quorum_latency_seconds": "histogram",
+		"wanac_manager_frozen_apps":                   "gauge",
+		"wanac_manager_syncing_apps":                  "gauge",
+	} {
+		if mgrFams[fam] != typ {
+			t.Errorf("manager exposition: family %s = %q, want %s", fam, mgrFams[fam], typ)
+		}
+	}
+	if !strings.Contains(mgrOut, `wanac_manager_queries_total{result="served"} 1`) {
+		t.Errorf("manager exposition missing served query:\n%s", mgrOut)
+	}
+
+	// /debug/vars must be served alongside /metrics (same counters, two
+	// views).
+	if resp, err := http.Get("http://" + debugAddrOf(2) + "/debug/vars"); err != nil {
+		t.Errorf("/debug/vars: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("/debug/vars status = %d", resp.StatusCode)
+		}
+	}
+
+	// Shut down (flushing span streams), then reconstruct the check from
+	// the merged spans: the host's decision span names a trace, and that
+	// trace must also appear in the host's round span and in a query span
+	// on every manager that served the round.
+	for _, rt := range runtimes {
+		rt.Close()
+	}
+	runtimes = nil
+	byNode := map[string][]telemetry.Span{}
+	for _, id := range []string{"m0", "m1", "h0"} {
+		f, err := os.Open(spanPath(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans, err := telemetry.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("read %s spans: %v", id, err)
+		}
+		byNode[id] = spans
+	}
+	var trace uint64
+	for _, s := range byNode["h0"] {
+		if s.Kind == "decision" && s.Note == "allowed" {
+			trace = s.Trace
+		}
+	}
+	if trace == 0 {
+		t.Fatalf("no allowed decision span on h0: %+v", byNode["h0"])
+	}
+	var rounds, replies int
+	for _, s := range byNode["h0"] {
+		if s.Trace != trace {
+			continue
+		}
+		switch s.Kind {
+		case "round":
+			rounds++
+		case "reply":
+			replies++
+		}
+	}
+	if rounds < 1 || replies < 2 {
+		t.Errorf("host trace %d: rounds=%d replies=%d, want >=1 and >=2", trace, rounds, replies)
+	}
+	for _, id := range []string{"m0", "m1"} {
+		found := false
+		for _, s := range byNode[id] {
+			if s.Trace == trace && s.Kind == "query" && s.Peer == "h0" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s spans missing query with trace %d: %+v", id, trace, byNode[id])
+		}
+	}
+}

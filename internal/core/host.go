@@ -8,6 +8,7 @@ import (
 
 	"wanac/internal/acl"
 	"wanac/internal/auth"
+	"wanac/internal/telemetry"
 	"wanac/internal/trace"
 	"wanac/internal/wire"
 )
@@ -46,6 +47,10 @@ type Host struct {
 	// and callback slices) so steady-state query rounds allocate nothing.
 	freeChecks []*check
 	stats      HostStats
+	// tel, when set, receives per-outcome counters/latency histograms and
+	// check-lifecycle spans (see telemetry.go). Nil outside instrumented
+	// runs; every hook is nil-guarded so the unused cost is one branch.
+	tel *HostTelemetry
 }
 
 // firing is one deferred callback invocation. raw takes precedence over
@@ -82,8 +87,14 @@ type checkKey struct {
 }
 
 type check struct {
-	key       checkKey
-	nonce     uint64
+	key   checkKey
+	nonce uint64
+	// trace is the check-wide telemetry correlation ID: the nonce of the
+	// first query round, carried in every Query of the check and echoed
+	// by managers, joining host and manager spans (internal/telemetry).
+	trace uint64
+	// born is when the check was created, for decision-latency histograms.
+	born      time.Time
 	attempts  int
 	queried   int // managers queried in the current round
 	grantedBy map[wire.NodeID]struct{}
@@ -195,17 +206,27 @@ func (h *Host) fire(cb func(Decision), d Decision) {
 }
 
 func (h *Host) checkLocked(app wire.AppID, user wire.UserID, right wire.Right, cb func(Decision)) {
+	now := h.env.Now()
 	a, ok := h.apps[app]
 	if !ok || !right.Valid() {
-		h.recordDecision(Decision{})
+		h.recordDecision(Decision{}, now)
 		h.fire(cb, Decision{})
 		return
 	}
-	now := h.env.Now()
 	if entry, st := h.cache.LookupStatus(app, user, right, now); st == acl.Hit {
 		h.emit(trace.EventCacheHit, app, user, "")
 		h.emit(trace.EventAccessAllowed, app, user, "cached")
-		h.recordDecision(Decision{Allowed: true, CacheHit: true})
+		h.recordDecision(Decision{Allowed: true, CacheHit: true}, now)
+		if h.tel.spanning() {
+			// Cache hits never touch the wire, so mint a local trace ID
+			// from the nonce sequence (never reused by query rounds).
+			h.nonce++
+			h.tel.span(telemetry.Span{
+				Trace: h.nonce, Node: string(h.id), Kind: "decision",
+				Time: now, App: string(app), User: string(user),
+				Right: right.String(), Note: outcomeNames[outcomeCacheHit],
+			})
+		}
 		h.fire(cb, Decision{Allowed: true, CacheHit: true})
 		// Refresh-ahead: if the entry is close to expiring, re-verify in the
 		// background so the next post-expiry access does not pay a manager
@@ -217,6 +238,7 @@ func (h *Host) checkLocked(app wire.AppID, user wire.UserID, right wire.Right, c
 			key := checkKey{app, user, right}
 			if _, inflight := h.byKey[key]; !inflight && h.managersUsable(a, now) {
 				c := h.newCheck(key)
+				c.born = now
 				h.byKey[key] = c
 				h.startRound(a, c)
 			}
@@ -232,6 +254,7 @@ func (h *Host) checkLocked(app wire.AppID, user wire.UserID, right wire.Right, c
 		return
 	}
 	c := h.newCheck(key)
+	c.born = now
 	c.callbacks = append(c.callbacks, cb)
 	h.byKey[key] = c
 
@@ -298,6 +321,9 @@ func (h *Host) managersUsable(a *hostApp, now time.Time) bool {
 func (h *Host) startRound(a *hostApp, c *check) {
 	h.nonce++
 	c.nonce = h.nonce
+	if c.trace == 0 {
+		c.trace = c.nonce
+	}
 	c.attempts++
 	if c.grantedBy == nil {
 		c.grantedBy = make(map[wire.NodeID]struct{}, a.policy.CheckQuorum)
@@ -319,9 +345,21 @@ func (h *Host) startRound(a *hostApp, c *check) {
 	}
 	c.queried = count
 
-	q := wire.Query{App: c.key.app, User: c.key.user, Right: c.key.right, Nonce: c.nonce}
+	q := wire.Query{App: c.key.app, User: c.key.user, Right: c.key.right, Nonce: c.nonce, Trace: c.trace}
 	for i := 0; i < count; i++ {
 		h.env.Send(a.managers[(start+i)%m], q)
+	}
+	h.stats.QueryRounds++
+	if h.tel != nil {
+		h.tel.rounds.Inc()
+		if h.tel.spanning() {
+			h.tel.span(telemetry.Span{
+				Trace: c.trace, Node: string(h.id), Kind: "round",
+				Time: c.sentAt, App: string(c.key.app), User: string(c.key.user),
+				Right: c.key.right.String(), Round: c.attempts, Nonce: c.nonce,
+				Note: "managers=" + strconv.Itoa(count),
+			})
+		}
 	}
 	if h.tracing {
 		h.emit(trace.EventQuerySent, c.key.app, c.key.user,
@@ -344,6 +382,17 @@ func (h *Host) onQueryTimeout(nonce uint64) {
 	if !ok {
 		h.finish(c, Decision{})
 		return
+	}
+	h.stats.QueryTimeouts++
+	if h.tel != nil {
+		h.tel.timeouts.Inc()
+		if h.tel.spanning() {
+			h.tel.span(telemetry.Span{
+				Trace: c.trace, Node: string(h.id), Kind: "timeout",
+				Time: h.env.Now(), App: string(c.key.app), User: string(c.key.user),
+				Right: c.key.right.String(), Round: c.attempts, Nonce: c.nonce,
+			})
+		}
 	}
 	if h.tracing {
 		h.emit(trace.EventQueryTimeout, c.key.app, c.key.user, "round="+strconv.Itoa(c.attempts))
@@ -375,7 +424,16 @@ func (h *Host) retryOrGiveUp(a *hostApp, c *check) {
 
 // finish resolves a check, queues its callbacks, and recycles the struct.
 func (h *Host) finish(c *check, d Decision) {
-	h.recordDecision(d)
+	h.recordDecision(d, c.born)
+	if h.tel.spanning() {
+		now := h.env.Now()
+		h.tel.span(telemetry.Span{
+			Trace: c.trace, Node: string(h.id), Kind: "decision",
+			Time: now, App: string(c.key.app), User: string(c.key.user),
+			Right: c.key.right.String(), Round: c.attempts,
+			DurNs: durationSince(c.born, now), Note: outcomeNames[outcomeIndex(d)],
+		})
+	}
 	if c.timer != nil {
 		c.timer.Stop()
 	}
@@ -432,6 +490,21 @@ func (h *Host) onResponse(from wire.NodeID, m wire.Response) {
 	// sender identities, making this check authoritative.
 	if !a.isManager(from) {
 		return
+	}
+	if h.tel.spanning() {
+		note := outcomeNames[outcomeDenied]
+		switch {
+		case m.Frozen:
+			note = "frozen"
+		case m.Granted:
+			note = "granted"
+		}
+		h.tel.span(telemetry.Span{
+			Trace: c.trace, Node: string(h.id), Kind: "reply",
+			Time: h.env.Now(), App: string(c.key.app), User: string(c.key.user),
+			Right: c.key.right.String(), Peer: string(from),
+			Round: c.attempts, Nonce: m.Nonce, Note: note,
+		})
 	}
 	switch {
 	case m.Frozen:
@@ -507,6 +580,9 @@ func (h *Host) onRevokeNotice(from wire.NodeID, m wire.RevokeNotice) {
 	removed := h.cache.Remove(m.App, m.User, m.Right)
 	if removed {
 		h.stats.RevokeNotices++
+		if h.tel != nil {
+			h.tel.revokes.Inc()
+		}
 		h.emit(trace.EventRevokeApplied, m.App, m.User, "")
 	}
 	// Ack regardless: the manager needs to stop retransmitting even if the

@@ -32,6 +32,9 @@ type Manager struct {
 	notices     map[noticeKey]*outNotice
 	fires       []func()
 	stats       ManagerStats
+	// tel, when set, mirrors the stats counters into a telemetry registry
+	// and records per-query spans (see telemetry.go). Nil-guarded hooks.
+	tel *ManagerTelemetry
 }
 
 // mgrApp is the per-application dissemination and grant-tracking state.
@@ -86,6 +89,8 @@ type outUpdate struct {
 	quorumDone   bool
 	retries      int
 	timer        TimerHandle
+	// issuedAt feeds the update-quorum latency histogram.
+	issuedAt time.Time
 	// Exactly one of replyCb / replyTo is used for quorum notification.
 	replyCb func(wire.AdminReply)
 	replyTo wire.NodeID
@@ -101,6 +106,8 @@ type outNotice struct {
 	deadline time.Time // zero: no expiry backstop (basic protocol)
 	retries  int
 	timer    TimerHandle
+	// created feeds the revocation-propagation latency histogram.
+	created time.Time
 }
 
 // NewManager creates a manager node. keyring may be nil, in which case
@@ -291,6 +298,9 @@ func (m *Manager) issueLocked(ma *mgrApp, op wire.AdminOp, cb func(wire.AdminRep
 	m.applyLocked(op.App, ma, upd)
 	ma.applied[m.id] = ma.counter
 	m.stats.UpdatesIssued++
+	if m.tel != nil {
+		m.tel.updatesIssued.Inc()
+	}
 	m.emitUpd(trace.EventUpdateIssued, op.App, op.User, upd.Seq, op.Op.String())
 
 	out := &outUpdate{
@@ -300,6 +310,7 @@ func (m *Manager) issueLocked(ma *mgrApp, op wire.AdminOp, cb func(wire.AdminRep
 		replyCb:      cb,
 		replyTo:      replyTo,
 		reqID:        reqID,
+		issuedAt:     m.env.Now(),
 	}
 	for _, p := range ma.peers {
 		out.pendingPeers[p] = struct{}{}
@@ -386,6 +397,10 @@ func (m *Manager) checkUpdateQuorum(ma *mgrApp, out *outUpdate) {
 	}
 	out.quorumDone = true
 	m.stats.QuorumsReached++
+	if m.tel != nil {
+		m.tel.quorums.Inc()
+		observeSince(m.tel.quorumLatency, out.issuedAt, m.env.Now())
+	}
 	m.emitUpd(trace.EventUpdateQuorum, out.app, out.upd.User, out.upd.Seq,
 		out.upd.Op.String())
 	r := wire.AdminReply{ReqID: out.reqID, Accepted: true, QuorumReached: true}
@@ -443,7 +458,7 @@ func (m *Manager) forwardRevocation(app wire.AppID, ma *mgrApp, upd wire.Update)
 		}
 		n := &outNotice{
 			app: app, user: upd.User, right: upd.Right,
-			host: host, deadline: deadline,
+			host: host, deadline: deadline, created: now,
 		}
 		key := noticeKey{seq: upd.Seq, host: host}
 		m.notices[key] = n
@@ -542,20 +557,39 @@ func (m *Manager) notePeer(from wire.NodeID) {
 func (m *Manager) onQuery(from wire.NodeID, q wire.Query) {
 	ma, ok := m.apps[q.App]
 	if !ok {
-		m.env.Send(from, wire.Response{App: q.App, User: q.User, Right: q.Right, Nonce: q.Nonce})
+		if m.tel.spanning() {
+			m.querySpan(from, q, "unknown-app")
+		}
+		m.env.Send(from, wire.Response{App: q.App, User: q.User, Right: q.Right, Nonce: q.Nonce, Trace: q.Trace})
 		return
 	}
 	if ma.syncing || ma.frozen {
 		m.stats.QueriesFrozen++
+		if m.tel != nil {
+			m.tel.queriesFrozen.Inc()
+			if m.tel.spanning() {
+				m.querySpan(from, q, "frozen")
+			}
+		}
 		m.env.Send(from, wire.Response{
-			App: q.App, User: q.User, Right: q.Right, Nonce: q.Nonce, Frozen: true,
+			App: q.App, User: q.User, Right: q.Right, Nonce: q.Nonce, Frozen: true, Trace: q.Trace,
 		})
 		return
 	}
 	m.stats.QueriesServed++
 	granted := m.store.Has(q.App, q.User, q.Right)
+	if m.tel != nil {
+		m.tel.queriesServed.Inc()
+		if m.tel.spanning() {
+			if granted {
+				m.querySpan(from, q, "granted")
+			} else {
+				m.querySpan(from, q, "denied")
+			}
+		}
+	}
 	resp := wire.Response{
-		App: q.App, User: q.User, Right: q.Right, Nonce: q.Nonce, Granted: granted,
+		App: q.App, User: q.User, Right: q.Right, Nonce: q.Nonce, Granted: granted, Trace: q.Trace,
 	}
 	if granted {
 		te := ma.te()
@@ -618,10 +652,16 @@ func (m *Manager) applyInOrder(ma *mgrApp, upd wire.Update) {
 	if !ma.forced[upd.Seq] {
 		if m.applyLocked(upd.App, ma, upd) {
 			m.stats.UpdatesApplied++
+			if m.tel != nil {
+				m.tel.updatesApplied.Inc()
+			}
 			m.emitUpd(trace.EventUpdateApplied, upd.App, upd.User, upd.Seq,
 				upd.Op.String()+" from "+string(origin))
 		} else {
 			m.stats.UpdatesStale++
+			if m.tel != nil {
+				m.tel.updatesStale.Inc()
+			}
 		}
 	} else {
 		delete(ma.forced, upd.Seq)
@@ -688,6 +728,9 @@ func (m *Manager) onRevokeAck(ack wire.RevokeAck) {
 		if k.seq == ack.Seq && n.app == ack.App && n.user == ack.User {
 			if n.timer != nil {
 				n.timer.Stop()
+			}
+			if m.tel != nil {
+				observeSince(m.tel.revocationLag, n.created, m.env.Now())
 			}
 			delete(m.notices, k)
 		}

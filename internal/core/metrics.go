@@ -1,9 +1,11 @@
 package core
 
+import "time"
+
 // Operational metrics. These are cheap monotonic counters maintained inline
 // by the nodes (unlike the trace.Collector, which retains full events);
-// production deployments export them to whatever metrics system wraps the
-// node.
+// production deployments export them through internal/telemetry (see
+// telemetry.go), which mirrors every counter here at the same call sites.
 
 // HostStats is a snapshot of a host's access-control activity.
 type HostStats struct {
@@ -20,16 +22,24 @@ type HostStats struct {
 	Denied uint64
 	// RevokeNotices counts revocation notices that flushed a cached entry.
 	RevokeNotices uint64
+	// QueryRounds counts query rounds started (each fans out to C or all
+	// managers).
+	QueryRounds uint64
+	// QueryTimeouts counts query rounds that timed out without a decision.
+	QueryTimeouts uint64
 	// CacheLen is the current number of cached entries.
 	CacheLen int
 }
 
-// Stats returns a snapshot of the host's counters.
+// Stats returns a snapshot of the host's counters. The cache length is
+// read under the same lock as the counters, so the snapshot is
+// internally consistent (e.g. CacheLen can never report an entry whose
+// caching grant is not yet counted).
 func (h *Host) Stats() HostStats {
 	h.mu.Lock()
 	st := h.stats
-	h.mu.Unlock()
 	st.CacheLen = h.cache.Len()
+	h.mu.Unlock()
 	return st
 }
 
@@ -54,6 +64,12 @@ type ManagerStats struct {
 	// PendingNotices is the current number of unacknowledged revocation
 	// notices.
 	PendingNotices int
+	// FrozenApps is the current number of applications in the freeze state
+	// (§3.3) on this manager.
+	FrozenApps int
+	// SyncingApps is the current number of applications still recovering
+	// state on this manager.
+	SyncingApps int
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -63,20 +79,35 @@ func (m *Manager) Stats() ManagerStats {
 	st := m.stats
 	st.OutstandingUpdates = len(m.outstanding)
 	st.PendingNotices = len(m.notices)
+	for _, ma := range m.apps {
+		if ma.frozen {
+			st.FrozenApps++
+		}
+		if ma.syncing {
+			st.SyncingApps++
+		}
+	}
 	return st
 }
 
 // recordDecision tallies a finished check; must be called with h.mu held.
-func (h *Host) recordDecision(d Decision) {
+// born is when the check began (for the latency histograms); the zero
+// time records a zero latency.
+func (h *Host) recordDecision(d Decision, born time.Time) {
 	h.stats.Checks++
-	switch {
-	case d.CacheHit:
+	idx := outcomeIndex(d)
+	switch idx {
+	case outcomeCacheHit:
 		h.stats.CacheHits++
-	case d.DefaultAllowed:
+	case outcomeDefault:
 		h.stats.DefaultAllowed++
-	case d.Allowed:
+	case outcomeAllowed:
 		h.stats.Allowed++
 	default:
 		h.stats.Denied++
+	}
+	if h.tel != nil {
+		h.tel.checks[idx].Inc()
+		observeSince(h.tel.latency[idx], born, h.env.Now())
 	}
 }

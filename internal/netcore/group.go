@@ -80,9 +80,13 @@ func (g *Group) Ensure(id wire.NodeID, dial DialFunc) *Peer {
 func (g *Group) Stats() TransportStats {
 	st := g.ctr.snapshot()
 	g.mu.Lock()
-	for _, p := range g.peers {
+	if len(g.peers) > 0 {
+		st.Peers = make(map[string]string, len(g.peers))
+	}
+	for id, p := range g.peers {
 		depth, state := p.status()
 		st.QueueDepth += depth
+		st.Peers[string(id)] = state.String()
 		switch state {
 		case StateUp:
 			st.PeersUp++

@@ -219,6 +219,10 @@ type TransportStats struct {
 	PeersUp         int `json:"peers_up"`
 	PeersConnecting int `json:"peers_connecting"`
 	PeersBackoff    int `json:"peers_backoff"`
+	// Peers maps each peer id to its current health state name
+	// ("connecting", "up", "backoff"), so operators can see which peer is
+	// flapping, not just how many. Nil when the transport has no peers.
+	Peers map[string]string `json:"peers,omitempty"`
 }
 
 // snapshot loads the counter half of a TransportStats.

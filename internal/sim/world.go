@@ -8,6 +8,7 @@ import (
 	"wanac/internal/core"
 	"wanac/internal/nameservice"
 	"wanac/internal/simnet"
+	"wanac/internal/telemetry"
 	"wanac/internal/trace"
 	"wanac/internal/wire"
 )
@@ -49,6 +50,15 @@ type Config struct {
 	// — they only inspect decisions and replies, and tracing is pure overhead
 	// on their hot path. World.Tracer is nil when NoTrace is set.
 	NoTrace bool
+	// Telemetry, when non-nil, instruments every node against this registry
+	// with the same metric families the live acnode binary exports, plus
+	// simnet delivery counters. Reading the registry (WritePrometheus) is
+	// only consistent while the scheduler is idle — the same constraint as
+	// Net.Stats.
+	Telemetry *telemetry.Registry
+	// Spans, when non-nil alongside Telemetry, receives check-round spans
+	// from every host and manager (see telemetry.SpanBuffer / SpanWriter).
+	Spans telemetry.SpanRecorder
 }
 
 // World is a fully wired simulated deployment.
@@ -101,6 +111,10 @@ func Build(cfg Config) (*World, error) {
 		collector = trace.NewCollector(0)
 		tracer = collector
 	}
+	if cfg.Telemetry != nil {
+		tracer = telemetry.InstrumentTracer(cfg.Telemetry, tracer)
+		registerNetCounters(cfg.Telemetry, net)
+	}
 	w := &World{
 		Cfg:      cfg,
 		Sched:    sched,
@@ -133,6 +147,9 @@ func Build(cfg Config) (*World, error) {
 		mgr.Seed(cfg.App, cfg.Admin, wire.RightManage)
 		for _, u := range cfg.Users {
 			mgr.Seed(cfg.App, u, wire.RightUse)
+		}
+		if cfg.Telemetry != nil {
+			core.InstrumentManager(cfg.Telemetry, cfg.Spans, mgr)
 		}
 		net.Attach(managerIDs[i], mgr)
 		w.Managers = append(w.Managers, mgr)
@@ -172,10 +189,36 @@ func Build(cfg Config) (*World, error) {
 		if err := host.RegisterApp(cfg.App, hCfg); err != nil {
 			return nil, fmt.Errorf("host %d: %w", i, err)
 		}
+		if cfg.Telemetry != nil {
+			core.InstrumentHost(cfg.Telemetry, cfg.Spans, host)
+		}
 		net.Attach(id, host)
 		w.Hosts = append(w.Hosts, host)
 	}
 	return w, nil
+}
+
+// registerNetCounters exposes the simulated network's delivery counters as
+// func-backed counter families, mirroring the live transport taxonomy
+// (wanac_transport_* in netcore) at the simnet layer. Like Net.Stats, the
+// closures must only run while the scheduler is idle.
+func registerNetCounters(reg *telemetry.Registry, net *simnet.Network) {
+	for _, c := range []struct {
+		name, help string
+		get        func(simnet.Counters) uint64
+	}{
+		{"wanac_simnet_sent_total", "Messages submitted to the simulated network.",
+			func(st simnet.Counters) uint64 { return st.Sent }},
+		{"wanac_simnet_delivered_total", "Messages delivered to a live destination.",
+			func(st simnet.Counters) uint64 { return st.Delivered }},
+		{"wanac_simnet_dropped_total", "Messages lost, cut, or sent to a crashed/absent node.",
+			func(st simnet.Counters) uint64 { return st.Dropped }},
+		{"wanac_simnet_duplicated_total", "Messages duplicated by the simulated network.",
+			func(st simnet.Counters) uint64 { return st.Duplicated }},
+	} {
+		get := c.get
+		reg.CounterFunc(c.name, c.help, func() float64 { return float64(get(net.Stats())) })
+	}
 }
 
 // RunFor advances the world by d of simulated time.

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// A Span is one step in the lifecycle of a single access check,
+// correlated across host and managers by Trace: the host stamps the
+// check's trace ID into every wire Query, managers echo it in their
+// Response, and both sides record spans keyed by it. Joining all spans
+// with one trace ID reconstructs the full round: cache lookup, each
+// query round's fan-out, every manager's reply (or the timeout), and the
+// final quorum decision or default allow.
+type Span struct {
+	Trace uint64    `json:"trace"`           // check-wide correlation ID
+	Node  string    `json:"node"`            // emitting node
+	Kind  string    `json:"kind"`            // check|round|reply|timeout|decision|query
+	Time  time.Time `json:"time"`            // emission time (node-local clock)
+	App   string    `json:"app,omitempty"`   //
+	User  string    `json:"user,omitempty"`  //
+	Right string    `json:"right,omitempty"` //
+	Peer  string    `json:"peer,omitempty"`  // reply/query: the other end
+	Round int       `json:"round,omitempty"` // 1-based query round (attempt)
+	Nonce uint64    `json:"nonce,omitempty"` // per-round wire nonce
+	DurNs int64     `json:"dur_ns,omitempty"` // decision: time since the check began
+	Note  string    `json:"note,omitempty"`  // outcome or free-form detail
+}
+
+// A SpanRecorder receives spans. Implementations must be safe for
+// concurrent use.
+type SpanRecorder interface {
+	RecordSpan(Span)
+}
+
+// SpanBuffer collects spans in memory, for tests and the simulator.
+type SpanBuffer struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// RecordSpan appends s.
+func (b *SpanBuffer) RecordSpan(s Span) {
+	b.mu.Lock()
+	b.spans = append(b.spans, s)
+	b.mu.Unlock()
+}
+
+// Spans returns a copy of everything recorded so far.
+func (b *SpanBuffer) Spans() []Span {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Span(nil), b.spans...)
+}
+
+// ByTrace returns the recorded spans with the given trace ID, in
+// recording order.
+func (b *SpanBuffer) ByTrace(trace uint64) []Span {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Span
+	for _, s := range b.spans {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SpanWriter streams spans as JSON Lines (one object per line) to an
+// io.Writer — the backing for acnode's -telemetry.jsonl flag. Encoding
+// errors are counted, not propagated: telemetry must never take down
+// the protocol path.
+type SpanWriter struct {
+	mu   sync.Mutex
+	enc  *json.Encoder
+	errs int
+}
+
+// NewSpanWriter returns a SpanWriter emitting to w. The caller owns w's
+// lifecycle (flush/close).
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	return &SpanWriter{enc: json.NewEncoder(w)}
+}
+
+// RecordSpan writes one JSONL record.
+func (w *SpanWriter) RecordSpan(s Span) {
+	w.mu.Lock()
+	if err := w.enc.Encode(s); err != nil {
+		w.errs++
+	}
+	w.mu.Unlock()
+}
+
+// Errors reports how many spans failed to encode or write.
+func (w *SpanWriter) Errors() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.errs
+}
+
+// ReadSpans decodes a JSONL span stream, e.g. a -telemetry.jsonl file.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var s Span
+		if err := dec.Decode(&s); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, s)
+	}
+}

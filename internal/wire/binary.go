@@ -181,6 +181,7 @@ func AppendMarshal(buf []byte, msg Message) ([]byte, error) {
 		e.string(string(m.User))
 		e.byte(byte(m.Right))
 		e.uint(m.Nonce)
+		e.uint(m.Trace)
 	case Response:
 		e.byte(tagResponse)
 		e.string(string(m.App))
@@ -190,6 +191,7 @@ func AppendMarshal(buf []byte, msg Message) ([]byte, error) {
 		e.bool(m.Granted)
 		e.bool(m.Frozen)
 		e.duration(m.Expire)
+		e.uint(m.Trace)
 	case RevokeNotice:
 		e.byte(tagRevokeNotice)
 		e.string(string(m.App))
@@ -321,6 +323,7 @@ func Unmarshal(data []byte) (Message, error) {
 			User:  UserID(d.string()),
 			Right: Right(d.byte()),
 			Nonce: d.uint(),
+			Trace: d.uint(),
 		}
 	case tagResponse:
 		msg = Response{
@@ -331,6 +334,7 @@ func Unmarshal(data []byte) (Message, error) {
 			Granted: d.bool(),
 			Frozen:  d.bool(),
 			Expire:  d.duration(),
+			Trace:   d.uint(),
 		}
 	case tagRevokeNotice:
 		msg = RevokeNotice{

@@ -12,9 +12,9 @@ import (
 func sampleMessages() []Message {
 	issued := time.Date(2000, 1, 2, 3, 4, 5, 6, time.UTC)
 	return []Message{
-		Query{App: "stocks", User: "alice", Right: RightUse, Nonce: 42},
+		Query{App: "stocks", User: "alice", Right: RightUse, Nonce: 42, Trace: 41},
 		Query{}, // zero values must survive too
-		Response{App: "stocks", User: "alice", Right: RightUse, Nonce: 42, Granted: true, Expire: 5 * time.Minute},
+		Response{App: "stocks", User: "alice", Right: RightUse, Nonce: 42, Granted: true, Expire: 5 * time.Minute, Trace: 41},
 		Response{App: "a", User: "u", Right: RightManage, Frozen: true},
 		RevokeNotice{App: "stocks", User: "mallory", Right: RightUse, Seq: UpdateSeq{Origin: "m1", Counter: 7}},
 		RevokeAck{App: "stocks", User: "mallory", Seq: UpdateSeq{Origin: "m1", Counter: 7}},
@@ -137,8 +137,8 @@ func (unsupportedMsg) Kind() string { return "unsupported" }
 // TestQueryRoundTripQuick property-tests the hot-path pair with random field
 // values, including adversarial strings with NULs and high code points.
 func TestQueryRoundTripQuick(t *testing.T) {
-	f := func(app, user string, right uint8, nonce uint64) bool {
-		q := Query{App: AppID(app), User: UserID(user), Right: Right(right), Nonce: nonce}
+	f := func(app, user string, right uint8, nonce, tr uint64) bool {
+		q := Query{App: AppID(app), User: UserID(user), Right: Right(right), Nonce: nonce, Trace: tr}
 		data, err := Marshal(q)
 		if err != nil {
 			return false
@@ -152,10 +152,10 @@ func TestQueryRoundTripQuick(t *testing.T) {
 }
 
 func TestResponseRoundTripQuick(t *testing.T) {
-	f := func(app, user string, nonce uint64, granted, frozen bool, expire int64) bool {
+	f := func(app, user string, nonce uint64, granted, frozen bool, expire int64, tr uint64) bool {
 		r := Response{
 			App: AppID(app), User: UserID(user), Right: RightUse, Nonce: nonce,
-			Granted: granted, Frozen: frozen, Expire: time.Duration(expire),
+			Granted: granted, Frozen: frozen, Expire: time.Duration(expire), Trace: tr,
 		}
 		data, err := Marshal(r)
 		if err != nil {

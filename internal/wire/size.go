@@ -17,10 +17,11 @@ func Size(msg Message) (int, error) {
 	switch m := msg.(type) {
 	case Query:
 		return 1 + stringSize(string(m.App)) + stringSize(string(m.User)) +
-			1 + uvarintSize(m.Nonce), nil
+			1 + uvarintSize(m.Nonce) + uvarintSize(m.Trace), nil
 	case Response:
 		return 1 + stringSize(string(m.App)) + stringSize(string(m.User)) +
-			1 + uvarintSize(m.Nonce) + 2 + durationSize(m.Expire), nil
+			1 + uvarintSize(m.Nonce) + 2 + durationSize(m.Expire) +
+			uvarintSize(m.Trace), nil
 	case RevokeNotice:
 		return 1 + stringSize(string(m.App)) + stringSize(string(m.User)) +
 			1 + seqSize(m.Seq), nil

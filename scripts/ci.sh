@@ -24,6 +24,18 @@ echo "== transport churn (race, repeated)"
 # races a single pass can miss.
 go test -race -count=2 ./internal/netcore ./internal/tcpnet ./internal/udpnet
 
+echo "== telemetry (race, repeated)"
+# The metrics registry is hammered by every node's hot path while scrapers
+# read it; rerun its suite to shake out ordering-dependent races.
+go test -race -count=2 ./internal/telemetry
+
+echo "== metrics endpoint smoke"
+# Boots a live two-manager/one-host deployment over TCP, drives a check,
+# scrapes /metrics on host and manager, and fails on malformed exposition
+# or missing metric families (the scrape is validated by telemetry.ParseText
+# inside the test).
+go test -race -run TestMetricsEndpointSmoke -count=1 ./cmd/acnode
+
 echo "== benchmark smoke (one iteration each)"
 # One iteration per benchmark: catches benchmarks that fatal or hang without
 # paying full measurement time. Real numbers come from scripts/bench.sh.
