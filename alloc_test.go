@@ -73,3 +73,33 @@ func TestCacheHitCheckAllocationBudgetInstrumented(t *testing.T) {
 		t.Errorf("cache_hit counter = %d, want >= 500 (instrumentation active)", n)
 	}
 }
+
+// TestCacheHitCheckAllocationBudgetWithFlight re-runs the cached-check
+// budget with the flight recorder attached (the always-on production
+// configuration). Recording is one mutex hold and one struct copy into a
+// pre-allocated ring slot — no heap allocation — so the budget stays 1.
+func TestCacheHitCheckAllocationBudgetWithFlight(t *testing.T) {
+	w, err := sim.Build(sim.Config{
+		Managers: 3, Hosts: 1,
+		Policy:     core.Policy{CheckQuorum: 2, QueryTimeout: time.Second, MaxAttempts: 2},
+		Users:      []wire.UserID{"u"},
+		FlightRing: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := w.CheckSync(0, "u", wire.RightUse, time.Minute); !ok || !d.Allowed {
+		t.Fatal("warm-up check failed")
+	}
+	nop := func(core.Decision) {}
+	host, app := w.Hosts[0], w.Cfg.App
+	allocs := testing.AllocsPerRun(500, func() {
+		host.Check(app, "u", wire.RightUse, nop)
+	})
+	if allocs > 1 {
+		t.Errorf("flight-recorded cached check allocates %.1f objects/op, budget is 1 (the fires slice)", allocs)
+	}
+	if rec := w.Flights[sim.HostID(0)]; rec == nil || rec.Total() < 500 {
+		t.Error("flight recorder not attached or not recording on the cached path")
+	}
+}

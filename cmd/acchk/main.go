@@ -1,7 +1,8 @@
 // Command acchk runs the randomized protocol checker (internal/harness)
 // over a range of seeds and emits a JSON report: scenario counts, per-oracle
 // observation/violation totals, and — for failing seeds — the violations
-// plus a delta-debugged minimal event schedule and a replay command.
+// plus a delta-debugged minimal event schedule, a replay command, and the
+// path of the merged flight recording captured from the failing run.
 //
 // Exit status is 0 when every oracle stayed silent, 1 otherwise, so the
 // command slots directly into CI:
@@ -15,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"wanac/internal/harness"
@@ -25,13 +27,19 @@ func main() {
 		seeds     = flag.Int64("seeds", 100, "number of scenario seeds to run")
 		start     = flag.Int64("start", 1, "first seed")
 		minBudget = flag.Int("minimize", 80, "re-run budget for minimizing each failure (0 disables)")
-		verbose   = flag.Bool("v", false, "log one line per scenario to stderr")
+		verbose   = flag.Bool("v", false, "log one line per scenario")
 		injectTe  = flag.Bool("inject-te", false, "inject bug: managers hand out 10×Te grants")
 		injectRN  = flag.Bool("inject-drop-notices", false, "inject bug: drop RevokeNotice messages")
+		logLevel  = flag.String("log.level", "info", "log level: debug | info | warn | error")
+		logFormat = flag.String("log.format", "text", "log format: text | json")
 	)
 	flag.Parse()
+	if err := setupLogging(*logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "acchk:", err)
+		os.Exit(2)
+	}
 	if *seeds < 1 {
-		fmt.Fprintln(os.Stderr, "acchk: -seeds must be at least 1")
+		slog.Error("-seeds must be at least 1")
 		os.Exit(2)
 	}
 
@@ -40,15 +48,16 @@ func main() {
 	if *verbose {
 		progress = func(seed int64, res *harness.Result) {
 			if res == nil {
-				fmt.Fprintf(os.Stderr, "seed %d: build error\n", seed)
+				slog.Error("scenario build error", "seed", seed)
 				return
 			}
-			status := "ok"
 			if res.Failed() {
-				status = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
+				slog.Warn("scenario failed", "seed", seed, "violations", len(res.Violations),
+					"decisions", res.Decisions, "invokes", res.Invokes, "events", len(res.Scenario.Events))
+				return
 			}
-			fmt.Fprintf(os.Stderr, "seed %d: %s  decisions=%d invokes=%d events=%d\n",
-				seed, status, res.Decisions, res.Invokes, len(res.Scenario.Events))
+			slog.Info("scenario ok", "seed", seed,
+				"decisions", res.Decisions, "invokes", res.Invokes, "events", len(res.Scenario.Events))
 		}
 	}
 
@@ -57,10 +66,37 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
-		fmt.Fprintf(os.Stderr, "acchk: encode report: %v\n", err)
+		slog.Error("encode report failed", "err", err)
 		os.Exit(2)
 	}
 	if !report.Passed() {
+		for _, f := range report.Failures {
+			if f.FlightDump != "" {
+				slog.Warn("flight recording captured",
+					"seed", f.Seed, "path", f.FlightDump,
+					"render", "go run ./cmd/acflight "+f.FlightDump)
+			}
+		}
 		os.Exit(1)
 	}
+}
+
+// setupLogging installs the process-wide slog handler per the -log.* flags.
+func setupLogging(level, format string) error {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("log.level: %w", err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("log.format: unknown format %q (want text or json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
 }

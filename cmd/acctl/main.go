@@ -13,12 +13,22 @@
 // which the Te guarantee begins); invoke prints the application's reply;
 // check runs the host-side check protocol (Figure 2) against every manager
 // in -to and reports the quorum decision.
+//
+// A fifth verb pulls a node's flight recording through its -debug.addr
+// endpoint (no -to needed):
+//
+//	acctl flight 127.0.0.1:7180              # JSONL dump to stdout
+//	acctl flight 127.0.0.1:7180 h0.jsonl     # ... or to a file
+//
+// Collect one dump per node, then merge and render them with acflight.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -47,12 +57,15 @@ func main() {
 }
 
 func run(to, issuer string, timeout time.Duration, trans, keyFile, asUser string, quorum int, args []string) error {
+	if len(args) > 0 && args[0] == "flight" {
+		return runFlight(timeout, args)
+	}
 	targets, err := parseTargets(to)
 	if err != nil {
 		return err
 	}
 	if len(args) < 3 {
-		return fmt.Errorf("usage: acctl -to id=addr[,id=addr...] grant|revoke|invoke|check <app> <user> [right|payload]")
+		return fmt.Errorf("usage: acctl -to id=addr[,id=addr...] grant|revoke|invoke|check <app> <user> [right|payload]\n       acctl flight <debug-addr> [out.jsonl]")
 	}
 	verb, app, user := args[0], wire.AppID(args[1]), wire.UserID(args[2])
 
@@ -203,6 +216,49 @@ func runCheck(node wanac.Transport, targets []target, app wire.AppID, user wire.
 	}
 	fmt.Printf("allowed: %s has %s on %s (%d confirmations in %d attempt(s))\n",
 		user, right, app, d.Confirmations, d.Attempts)
+	return nil
+}
+
+// runFlight fetches /debug/flight from a node's debug endpoint and writes
+// the JSONL dump to stdout or the named file.
+func runFlight(timeout time.Duration, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: acctl flight <debug-addr> [out.jsonl]")
+	}
+	addr := args[1]
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/debug/flight", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", addr, resp.Status)
+	}
+	out := io.Writer(os.Stdout)
+	if len(args) >= 3 {
+		f, err := os.Create(args[2])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	n, err := io.Copy(out, resp.Body)
+	if err != nil {
+		return err
+	}
+	if len(args) >= 3 {
+		fmt.Printf("wrote %d bytes to %s\n", n, args[2])
+	}
 	return nil
 }
 

@@ -1,0 +1,98 @@
+// Command acflight merges flight-recorder dumps from several nodes into one
+// causally ordered timeline. Collect a dump per node (acctl flight, a
+// /debug/flight scrape, a harness artifact, or a panic dump), then:
+//
+//	acflight h0.jsonl m0.jsonl m1.jsonl m2.jsonl            # text timeline
+//	acflight -html timeline.html h0.jsonl m0.jsonl ...      # browsable page
+//	acflight -merged all.jsonl h0.jsonl m0.jsonl ...        # merged dump
+//
+// Nodes record timestamps on their own (possibly drifting) clocks; acflight
+// aligns them onto a shared reference axis by anchoring on trace-ID-matched
+// query/response pairs and update propagation, falling back to per-node
+// offset estimation (see internal/flight's Align). The rendered timeline
+// therefore shows events in causal order — a revocation reaching its update
+// quorum before the partition-hidden default-allow that leaked through —
+// even when the recording clocks disagreed by seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wanac/internal/flight"
+)
+
+func main() {
+	var (
+		htmlOut   = flag.String("html", "", "also write a self-contained HTML timeline to this file")
+		mergedOut = flag.String("merged", "", "also write the merged dump (versioned JSONL) to this file")
+		noText    = flag.Bool("q", false, "suppress the text timeline on stdout")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: acflight [-html out.html] [-merged out.jsonl] [-q] dump.jsonl...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(*htmlOut, *mergedOut, *noText, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "acflight:", err)
+		os.Exit(1)
+	}
+}
+
+func run(htmlOut, mergedOut string, noText bool, paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("no dump files given (collect them with 'acctl flight <debug-addr>')")
+	}
+	dumps := make([]*flight.Dump, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		d, err := flight.ReadDump(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		dumps = append(dumps, d)
+	}
+	merged := flight.Merge(dumps...)
+
+	if mergedOut != "" {
+		f, err := os.Create(mergedOut)
+		if err != nil {
+			return err
+		}
+		if err := merged.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "acflight: merged dump written to %s\n", mergedOut)
+	}
+
+	tl := flight.BuildTimeline(merged)
+	if !noText {
+		if err := tl.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if htmlOut != "" {
+		f, err := os.Create(htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := tl.WriteHTML(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "acflight: HTML timeline written to %s\n", htmlOut)
+	}
+	return nil
+}

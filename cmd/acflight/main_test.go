@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wanac/internal/flight"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// capture runs fn with os.Stdout redirected and returns what it wrote.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	fnErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if fnErr != nil {
+		t.Fatal(fnErr)
+	}
+	return out
+}
+
+func TestTimelineGolden(t *testing.T) {
+	out := capture(t, func() error {
+		return run("", "", false, []string{
+			filepath.Join("testdata", "h0.jsonl"),
+			filepath.Join("testdata", "m0.jsonl"),
+		})
+	})
+	golden := filepath.Join("testdata", "timeline.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./cmd/acflight -run TestTimelineGolden -update)", err)
+	}
+	if out != string(want) {
+		t.Errorf("timeline diverged from golden.\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+func TestHTMLAndMergedOutputs(t *testing.T) {
+	dir := t.TempDir()
+	htmlOut := filepath.Join(dir, "tl.html")
+	mergedOut := filepath.Join(dir, "merged.jsonl")
+	capture(t, func() error {
+		return run(htmlOut, mergedOut, true, []string{
+			filepath.Join("testdata", "h0.jsonl"),
+			filepath.Join("testdata", "m0.jsonl"),
+		})
+	})
+	htmlBody, err := os.ReadFile(htmlOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "query-served", "update-quorum"} {
+		if !bytes.Contains(htmlBody, []byte(want)) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	f, err := os.Open(mergedOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := flight.ReadDump(f)
+	if err != nil {
+		t.Fatalf("merged output does not parse as a dump: %v", err)
+	}
+	if got := strings.Join(d.Header.Nodes, ","); got != "h0,m0" {
+		t.Fatalf("merged nodes = %q, want h0,m0", got)
+	}
+	if len(d.Records) != 5 {
+		t.Fatalf("merged records = %d, want 5", len(d.Records))
+	}
+	if d.Header.Dropped != 2 {
+		t.Fatalf("merged dropped = %d, want 2", d.Header.Dropped)
+	}
+}
+
+func TestRunRejectsNoInputs(t *testing.T) {
+	if err := run("", "", false, nil); err == nil {
+		t.Fatal("want error when no dump files are given")
+	}
+}

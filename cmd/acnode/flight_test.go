@@ -1,0 +1,129 @@
+package main
+
+// Live test for the always-on flight recorder surface: a real
+// deployment over TCP, one check driven end to end, then /debug/flight
+// pulled from both sides and parsed the way acctl and acflight would.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"wanac/internal/flight"
+	"wanac/internal/wire"
+)
+
+func pullFlight(t *testing.T, addr string) *flight.Dump {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/debug/flight")
+	if err != nil {
+		t.Fatalf("GET /debug/flight on %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flight status = %d", resp.StatusCode)
+	}
+	d, err := flight.ReadDump(resp.Body)
+	if err != nil {
+		t.Fatalf("flight dump from %s does not parse: %v", addr, err)
+	}
+	return d
+}
+
+func TestDebugFlightEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sockets")
+	}
+	m0, m1, h0 := freeAddr(t), freeAddr(t), freeAddr(t)
+	peers := fmt.Sprintf("m0=%s,m1=%s", m0, m1)
+
+	var runtimes []*runtime
+	debugAddrs := map[string]string{}
+	for _, n := range []struct {
+		id, listen, role string
+	}{
+		{"m0", m0, "manager"},
+		{"m1", m1, "manager"},
+		{"h0", h0, "host"},
+	} {
+		debug := freeAddr(t)
+		rt, err := startNode(nodeConfig{
+			id: n.id, listen: n.listen, role: n.role, app: "stocks",
+			peers: peers, c: 2, r: 3, te: time.Minute, timeout: 2 * time.Second,
+			trans: "tcp", use: "alice",
+			debugAddr:  debug,
+			flightRing: 512,
+		})
+		if err != nil {
+			t.Fatalf("start %s: %v", n.id, err)
+		}
+		runtimes = append(runtimes, rt)
+		debugAddrs[n.id] = debug
+	}
+	defer func() {
+		for _, rt := range runtimes {
+			rt.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	d, err := runtimes[2].host.CheckContext(ctx, "stocks", "alice", wire.RightUse)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !d.Allowed {
+		t.Fatalf("decision = %+v, want allowed", d)
+	}
+
+	// The host ring must hold the check's protocol story under the node's
+	// own name, including transport peer-up records from connecting out.
+	hd := pullFlight(t, debugAddrs["h0"])
+	if len(hd.Header.Nodes) != 1 || hd.Header.Nodes[0] != "h0" {
+		t.Fatalf("h0 dump nodes = %v, want [h0]", hd.Header.Nodes)
+	}
+	counts := map[string]int{}
+	kinds := map[flight.Kind]int{}
+	var trace uint64
+	for _, r := range hd.Records {
+		if r.Node != "h0" {
+			t.Fatalf("h0 dump contains record for node %q", r.Node)
+		}
+		counts[r.Type]++
+		kinds[r.Kind]++
+		if r.Type == "query-sent" && r.Trace != 0 {
+			trace = r.Trace
+		}
+	}
+	if counts["query-sent"] < 1 || counts["access-allowed"] < 1 {
+		t.Errorf("h0 ring missing the check: %v", counts)
+	}
+	if kinds[flight.KindTransport] == 0 {
+		t.Errorf("h0 ring has no transport state records: %v", kinds)
+	}
+	if trace == 0 {
+		t.Error("h0 query-sent records carry no trace ID")
+	}
+
+	// The manager that served the round must hold a query-served record
+	// with the same trace ID — the anchor acflight aligns clocks on.
+	md := pullFlight(t, debugAddrs["m0"])
+	served := false
+	for _, r := range md.Records {
+		if r.Type == "query-served" && r.Trace == trace {
+			served = true
+		}
+	}
+	if !served {
+		t.Errorf("m0 ring has no query-served record with trace %016x", trace)
+	}
+
+	// A second pull must see at least as many records (ring is append-only
+	// until overwrite) and still parse — the endpoint is re-entrant.
+	hd2 := pullFlight(t, debugAddrs["h0"])
+	if len(hd2.Records) < len(hd.Records) {
+		t.Errorf("second pull shrank: %d -> %d records", len(hd.Records), len(hd2.Records))
+	}
+}

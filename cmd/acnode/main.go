@@ -20,8 +20,16 @@
 //	              wanac.manager counter snapshots
 //	/debug/pprof  the standard pprof profiles
 //	/debug/check  (hosts) run an access check: ?app=stocks&user=alice&right=use
+//	/debug/flight the node's flight recording as versioned JSONL (feed the
+//	              dumps from several nodes to acflight for a merged timeline)
 //	/metrics      Prometheus text exposition: check latency histograms by
 //	              outcome, quorum/freeze gauges, transport health
+//
+// Every node keeps an always-on flight recorder: a bounded in-memory ring
+// of protocol events and transport health transitions, dumped on demand
+// (/debug/flight, acctl flight) or automatically when the node panics.
+// Logging is structured (log/slog) and tunable with -log.level and
+// -log.format.
 //
 // With -telemetry.jsonl set, the node streams check-round spans (one JSON
 // object per line) to the given file; spans from a host and its managers
@@ -36,7 +44,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -50,6 +58,7 @@ import (
 	"wanac"
 	"wanac/internal/auth"
 	"wanac/internal/core"
+	"wanac/internal/flight"
 	"wanac/internal/netcore"
 	"wanac/internal/telemetry"
 	"wanac/internal/trace"
@@ -77,12 +86,24 @@ func main() {
 	flag.StringVar(&cfg.debugAddr, "debug.addr", "", "serve expvar+pprof+/metrics (and /debug/check on hosts) on this address")
 	flag.DurationVar(&cfg.statsEvery, "stats", 0, "log transport stats at this interval (0 = off)")
 	flag.StringVar(&cfg.spanPath, "telemetry.jsonl", "", "stream check-round spans to this JSONL file")
+	flag.IntVar(&cfg.flightRing, "flight.ring", defaultFlightRing, "flight recorder ring capacity (records kept per node)")
+	flag.StringVar(&cfg.flightDump, "flight.dump", "", "write the flight recording here on panic (default: acnode-flight-<id>.jsonl in the temp dir)")
+	flag.StringVar(&cfg.logLevel, "log.level", "info", "log level: debug | info | warn | error")
+	flag.StringVar(&cfg.logFormat, "log.format", "text", "log format: text | json")
 	flag.Parse()
+	if err := setupLogging(cfg.logLevel, cfg.logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "acnode:", err)
+		os.Exit(1)
+	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "acnode:", err)
 		os.Exit(1)
 	}
 }
+
+// defaultFlightRing holds roughly the last few minutes of protocol activity
+// on a busy node at a cost of a few MB.
+const defaultFlightRing = 4096
 
 type nodeConfig struct {
 	id, listen, role, app, peers  string
@@ -93,6 +114,29 @@ type nodeConfig struct {
 	stateFile, trans, keyringPath string
 	debugAddr                     string
 	spanPath                      string
+	flightRing                    int
+	flightDump                    string
+	logLevel, logFormat           string
+}
+
+// setupLogging installs the process-wide slog handler per the -log.* flags.
+func setupLogging(level, format string) error {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("log.level: %w", err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("log.format: unknown format %q (want text or json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
 }
 
 // runtime is a started node: the transport, the protocol role on top of
@@ -100,10 +144,11 @@ type nodeConfig struct {
 // Tests boot nodes through startNode and drive them directly; main wires
 // the same thing to the signal handler.
 type runtime struct {
-	node wanac.Transport
-	host *core.Host
-	mgr  *core.Manager
-	reg  *telemetry.Registry
+	node   wanac.Transport
+	host   *core.Host
+	mgr    *core.Manager
+	reg    *telemetry.Registry
+	flight *flight.Recorder
 
 	saveState func()
 	stopDebug func()
@@ -120,11 +165,12 @@ func (rt *runtime) Close() {
 		rt.stopDebug()
 	}
 	if rt.spanFile != nil {
+		rt.spanW.Close() // quiesce emitters before the buffer flush below
 		if rt.spanW.Errors() > 0 {
-			log.Printf("telemetry: %d spans failed to encode", rt.spanW.Errors())
+			slog.Error("telemetry: spans failed to encode or were dropped", "count", rt.spanW.Errors())
 		}
 		if err := rt.spanBuf.Flush(); err != nil {
-			log.Printf("telemetry: flush spans: %v", err)
+			slog.Error("telemetry: flush spans failed", "err", err)
 		}
 		rt.spanFile.Close()
 	}
@@ -137,6 +183,9 @@ func run(cfg nodeConfig) error {
 		return err
 	}
 	defer rt.Close()
+	// A crashing node writes its flight recording before dying, so the
+	// last moments of protocol history survive the process.
+	defer dumpFlightOnPanic(rt.flight, cfg)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -144,8 +193,33 @@ func run(cfg nodeConfig) error {
 	if rt.saveState != nil {
 		rt.saveState()
 	}
-	log.Printf("%s shutting down", cfg.id)
+	slog.Info("shutting down", "node", cfg.id)
 	return nil
+}
+
+// dumpFlightOnPanic writes the flight ring to disk when the calling
+// goroutine is unwinding from a panic, then re-panics so the crash still
+// reports normally.
+func dumpFlightOnPanic(rec *flight.Recorder, cfg nodeConfig) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	path := cfg.flightDump
+	if path == "" {
+		path = filepath.Join(os.TempDir(), "acnode-flight-"+cfg.id+".jsonl")
+	}
+	if f, err := os.Create(path); err == nil {
+		if err := rec.WriteDump(f); err != nil {
+			slog.Error("panic flight dump failed", "err", err)
+		} else {
+			slog.Error("panic: flight recording saved", "path", path)
+		}
+		f.Close()
+	} else {
+		slog.Error("panic flight dump failed", "err", err)
+	}
+	panic(p)
 }
 
 func startNode(cfg nodeConfig) (*runtime, error) {
@@ -163,22 +237,34 @@ func startNode(cfg nodeConfig) (*runtime, error) {
 		if err != nil {
 			return nil, err
 		}
-		log.Printf("%s loaded keyring with %d users: unauthenticated user traffic will be rejected", cfg.id, ring.Len())
+		slog.Info("loaded keyring: unauthenticated user traffic will be rejected",
+			"node", cfg.id, "users", ring.Len())
 	}
 	peerAddrs, order, err := parsePeers(cfg.peers)
 	if err != nil {
 		return nil, err
 	}
 
+	// The flight recorder runs unconditionally: a bounded ring of protocol
+	// and transport history whose cost does not depend on uptime, dumped
+	// via /debug/flight, acctl flight, or on panic.
+	if cfg.flightRing <= 0 {
+		cfg.flightRing = defaultFlightRing
+	}
+	rec := flight.NewRecorder(cfg.id, cfg.flightRing, nil)
+
 	var opts []wanac.TransportOption
 	if cfg.statsEvery > 0 {
 		opts = append(opts, wanac.WithStatsInterval(cfg.statsEvery))
 	}
+	opts = append(opts, wanac.WithPeerStateSink(func(peer wire.NodeID, state string) {
+		rec.Record(flight.Record{Kind: flight.KindTransport, Type: state, Peer: string(peer)})
+	}))
 	node, err := wanac.Listen(cfg.trans, wire.NodeID(cfg.id), cfg.listen, opts...)
 	if err != nil {
 		return nil, err
 	}
-	rt := &runtime{node: node, reg: telemetry.NewRegistry()}
+	rt := &runtime{node: node, reg: telemetry.NewRegistry(), flight: rec}
 	fail := func(err error) (*runtime, error) {
 		rt.Close()
 		return nil, err
@@ -191,14 +277,15 @@ func startNode(cfg nodeConfig) (*runtime, error) {
 			return fail(err)
 		}
 	}
-	log.Printf("%s listening on %s (role=%s app=%s transport=%s)",
-		cfg.id, node.Addr(), cfg.role, cfg.app, cfg.trans)
+	slog.Info("listening", "node", cfg.id, "addr", node.Addr(),
+		"role", cfg.role, "app", cfg.app, "transport", cfg.trans)
 
 	// Telemetry: the transport's counters and peer health re-exported on
-	// the registry, protocol events counted by type, and — when requested
-	// — check-round spans streamed as JSONL.
+	// the registry, protocol events counted by type and teed into the
+	// flight ring, and — when requested — check-round spans streamed as
+	// JSONL.
 	netcore.RegisterTransport(rt.reg, node.Stats)
-	tracer := telemetry.InstrumentTracer(rt.reg, logTracer{})
+	tracer := telemetry.InstrumentTracer(rt.reg, flight.Tee(rec, logTracer{}))
 	var spans telemetry.SpanRecorder
 	if cfg.spanPath != "" {
 		f, err := os.Create(cfg.spanPath)
@@ -209,7 +296,7 @@ func startNode(cfg nodeConfig) (*runtime, error) {
 		rt.spanBuf = bufio.NewWriter(f)
 		rt.spanW = telemetry.NewSpanWriter(rt.spanBuf)
 		spans = rt.spanW
-		log.Printf("%s streaming check spans to %s", cfg.id, cfg.spanPath)
+		slog.Info("streaming check spans", "node", cfg.id, "path", cfg.spanPath)
 	}
 
 	switch cfg.role {
@@ -238,29 +325,29 @@ func startNode(cfg nodeConfig) (*runtime, error) {
 				if loadErr != nil {
 					return fail(loadErr)
 				}
-				log.Printf("%s restored state from %s", cfg.id, cfg.stateFile)
+				slog.Info("restored state", "node", cfg.id, "path", cfg.stateFile)
 			} else if !os.IsNotExist(err) {
 				return fail(err)
 			}
 			rt.saveState = func() {
 				f, err := os.CreateTemp(filepath.Dir(cfg.stateFile), ".acnode-state-*")
 				if err != nil {
-					log.Printf("save state: %v", err)
+					slog.Error("save state failed", "err", err)
 					return
 				}
 				if err := mgr.SaveState(f); err != nil {
-					log.Printf("save state: %v", err)
+					slog.Error("save state failed", "err", err)
 					f.Close()
 					os.Remove(f.Name())
 					return
 				}
 				f.Close()
 				if err := os.Rename(f.Name(), cfg.stateFile); err != nil {
-					log.Printf("save state: %v", err)
+					slog.Error("save state failed", "err", err)
 					os.Remove(f.Name())
 					return
 				}
-				log.Printf("%s saved state to %s", cfg.id, cfg.stateFile)
+				slog.Info("saved state", "node", cfg.id, "path", cfg.stateFile)
 			}
 		}
 		node.SetHandler(mgr)
@@ -330,7 +417,13 @@ func startDebugServer(addr string, rt *runtime, app wire.AppID) (func(), error) 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := rt.reg.WritePrometheus(w); err != nil {
-			log.Printf("metrics: %v", err)
+			slog.Error("metrics write failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		if err := rt.flight.WriteDump(w); err != nil {
+			slog.Error("flight dump write failed", "err", err)
 		}
 	})
 	if rt.host != nil {
@@ -343,10 +436,10 @@ func startDebugServer(addr string, rt *runtime, app wire.AppID) (func(), error) 
 	srv := &http.Server{Handler: mux}
 	go func() {
 		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
-			log.Printf("debug server: %v", err)
+			slog.Error("debug server failed", "err", err)
 		}
 	}()
-	log.Printf("debug endpoint on http://%s/debug/vars", l.Addr())
+	slog.Info("debug endpoint up", "url", "http://"+l.Addr().String()+"/debug/vars")
 	return func() {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
@@ -431,7 +524,25 @@ func splitUsers(s string) []wire.UserID {
 	return out
 }
 
-// logTracer prints protocol events to the process log.
+// logTracer prints protocol events to the process log as structured
+// records, so a node's event stream is filterable and machine-joinable
+// with the transport's stats lines.
 type logTracer struct{}
 
-func (logTracer) Emit(e trace.Event) { log.Print(e.String()) }
+func (logTracer) Emit(e trace.Event) {
+	attrs := make([]any, 0, 12)
+	attrs = append(attrs, "node", string(e.Node), "type", e.Type.String())
+	if e.App != "" {
+		attrs = append(attrs, "app", string(e.App))
+	}
+	if e.User != "" {
+		attrs = append(attrs, "user", string(e.User))
+	}
+	if e.Trace != 0 {
+		attrs = append(attrs, "trace", fmt.Sprintf("%016x", e.Trace))
+	}
+	if e.Note != "" {
+		attrs = append(attrs, "note", e.Note)
+	}
+	slog.Info("event", attrs...)
+}

@@ -362,7 +362,7 @@ func (h *Host) startRound(a *hostApp, c *check) {
 		}
 	}
 	if h.tracing {
-		h.emit(trace.EventQuerySent, c.key.app, c.key.user,
+		h.emitT(trace.EventQuerySent, c.key.app, c.key.user, c.trace,
 			"round="+strconv.Itoa(c.attempts)+" managers="+strconv.Itoa(count))
 	}
 
@@ -395,7 +395,7 @@ func (h *Host) onQueryTimeout(nonce uint64) {
 		}
 	}
 	if h.tracing {
-		h.emit(trace.EventQueryTimeout, c.key.app, c.key.user, "round="+strconv.Itoa(c.attempts))
+		h.emitT(trace.EventQueryTimeout, c.key.app, c.key.user, c.trace, "round="+strconv.Itoa(c.attempts))
 	}
 	h.retryOrGiveUp(a, c)
 }
@@ -406,7 +406,7 @@ func (h *Host) retryOrGiveUp(a *hostApp, c *check) {
 	if a.policy.MaxAttempts > 0 && c.attempts >= a.policy.MaxAttempts {
 		if a.policy.DefaultAllow {
 			if h.tracing {
-				h.emit(trace.EventAccessDefault, c.key.app, c.key.user,
+				h.emitT(trace.EventAccessDefault, c.key.app, c.key.user, c.trace,
 					"attempts="+strconv.Itoa(c.attempts))
 			}
 			h.finish(c, Decision{
@@ -415,7 +415,7 @@ func (h *Host) retryOrGiveUp(a *hostApp, c *check) {
 			})
 			return
 		}
-		h.emit(trace.EventAccessDenied, c.key.app, c.key.user, "unreachable")
+		h.emitT(trace.EventAccessDenied, c.key.app, c.key.user, c.trace, "unreachable")
 		h.finish(c, Decision{Attempts: c.attempts, Frozen: c.frozen})
 		return
 	}
@@ -540,7 +540,7 @@ func (h *Host) onResponse(from wire.NodeID, m wire.Response) {
 			// rather than waiting out its expiry (matters for refresh-ahead
 			// checks, where a valid entry is still cached).
 			h.cache.Remove(c.key.app, c.key.user, c.key.right)
-			h.emit(trace.EventAccessDenied, c.key.app, c.key.user, "revoked")
+			h.emitT(trace.EventAccessDenied, c.key.app, c.key.user, c.trace, "revoked")
 			h.finish(c, Decision{Attempts: c.attempts, Frozen: c.frozen})
 		}
 	}
@@ -558,10 +558,10 @@ func (h *Host) grant(c *check) {
 		h.cache.Put(c.key.app, c.key.user, c.key.right, limit, m)
 	}
 	if h.tracing {
-		h.emit(trace.EventGrantCached, c.key.app, c.key.user,
+		h.emitT(trace.EventGrantCached, c.key.app, c.key.user, c.trace,
 			"confirmations="+strconv.Itoa(len(c.grantedBy)))
 	}
-	h.emit(trace.EventAccessAllowed, c.key.app, c.key.user, "quorum")
+	h.emitT(trace.EventAccessAllowed, c.key.app, c.key.user, c.trace, "quorum")
 	h.finish(c, Decision{
 		Allowed:       true,
 		Confirmations: len(c.grantedBy),
@@ -671,10 +671,10 @@ func (h *Host) onResolveTimeout(a *hostApp, app wire.AppID) {
 		c.attempts++
 		if a.policy.MaxAttempts > 0 && c.attempts >= a.policy.MaxAttempts {
 			if a.policy.DefaultAllow {
-				h.emit(trace.EventAccessDefault, app, c.key.user, "resolve-failed")
+				h.emitT(trace.EventAccessDefault, app, c.key.user, c.trace, "resolve-failed")
 				h.finish(c, Decision{Allowed: true, DefaultAllowed: true, Attempts: c.attempts})
 			} else {
-				h.emit(trace.EventAccessDenied, app, c.key.user, "resolve-failed")
+				h.emitT(trace.EventAccessDenied, app, c.key.user, c.trace, "resolve-failed")
 				h.finish(c, Decision{Attempts: c.attempts})
 			}
 			continue
@@ -798,5 +798,14 @@ func (h *Host) Reset() {
 func (h *Host) emit(t trace.EventType, app wire.AppID, user wire.UserID, note string) {
 	h.tracer.Emit(trace.Event{
 		Time: h.env.Now(), Node: h.id, Type: t, App: app, User: user, Note: note,
+	})
+}
+
+// emitT is emit for events inside a check's lifecycle: it carries the
+// check's causal trace ID so flight recordings and span streams join on the
+// same key.
+func (h *Host) emitT(t trace.EventType, app wire.AppID, user wire.UserID, traceID uint64, note string) {
+	h.tracer.Emit(trace.Event{
+		Time: h.env.Now(), Node: h.id, Type: t, App: app, User: user, Trace: traceID, Note: note,
 	})
 }

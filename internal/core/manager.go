@@ -23,6 +23,7 @@ type Manager struct {
 	id      wire.NodeID
 	env     Env
 	tracer  trace.Tracer
+	tracing bool          // false when tracer is trace.Nop: skip per-query events
 	keyring *auth.Keyring // nil: trust AdminOp issuers (simulation)
 
 	mu          sync.Mutex
@@ -117,10 +118,12 @@ func NewManager(id wire.NodeID, env Env, tracer trace.Tracer, keyring *auth.Keyr
 	if tracer == nil {
 		tracer = trace.Nop{}
 	}
+	_, nop := tracer.(trace.Nop)
 	return &Manager{
 		id:          id,
 		env:         env,
 		tracer:      tracer,
+		tracing:     !nop,
 		keyring:     keyring,
 		store:       acl.NewStore(),
 		apps:        make(map[wire.AppID]*mgrApp),
@@ -560,6 +563,7 @@ func (m *Manager) onQuery(from wire.NodeID, q wire.Query) {
 		if m.tel.spanning() {
 			m.querySpan(from, q, "unknown-app")
 		}
+		m.emitServed(from, q, "unknown-app")
 		m.env.Send(from, wire.Response{App: q.App, User: q.User, Right: q.Right, Nonce: q.Nonce, Trace: q.Trace})
 		return
 	}
@@ -571,6 +575,7 @@ func (m *Manager) onQuery(from wire.NodeID, q wire.Query) {
 				m.querySpan(from, q, "frozen")
 			}
 		}
+		m.emitServed(from, q, "frozen")
 		m.env.Send(from, wire.Response{
 			App: q.App, User: q.User, Right: q.Right, Nonce: q.Nonce, Frozen: true, Trace: q.Trace,
 		})
@@ -587,6 +592,11 @@ func (m *Manager) onQuery(from wire.NodeID, q wire.Query) {
 				m.querySpan(from, q, "denied")
 			}
 		}
+	}
+	if granted {
+		m.emitServed(from, q, "granted")
+	} else {
+		m.emitServed(from, q, "denied")
 	}
 	resp := wire.Response{
 		App: q.App, User: q.User, Right: q.Right, Nonce: q.Nonce, Granted: granted, Trace: q.Trace,
@@ -1031,6 +1041,21 @@ func (m *Manager) SetPeers(app wire.AppID, peers []wire.NodeID) error {
 	}
 	ma.lastSeen = seen
 	return nil
+}
+
+// emitServed records that a Query was answered, carrying the query's trace
+// ID: the manager-side half of the query-sent/query-served anchor pairs the
+// flight analyzer uses to align drifting host clocks. Guarded by tracing so
+// untraced Monte Carlo worlds pay nothing on the query hot path.
+func (m *Manager) emitServed(from wire.NodeID, q wire.Query, verdict string) {
+	if !m.tracing {
+		return
+	}
+	m.tracer.Emit(trace.Event{
+		Time: m.env.Now(), Node: m.id, Type: trace.EventQueryServed,
+		App: q.App, User: q.User, Trace: q.Trace,
+		Note: "host=" + string(from) + " " + verdict,
+	})
 }
 
 func (m *Manager) emit(t trace.EventType, app wire.AppID, user wire.UserID, note string) {

@@ -1,0 +1,231 @@
+// Package flight implements the per-node black-box flight recorder: an
+// always-on, bounded, lock-cheap ring buffer of recent structured events —
+// protocol events (internal/trace), transport state changes
+// (internal/netcore), partition and clock injections (internal/simnet,
+// internal/partition), and quorum decisions. When something goes wrong (an
+// oracle violation in the harness, a panic or an operator request on a live
+// node) the ring is dumped as versioned JSONL; cmd/acflight merges dumps
+// from several nodes, aligns their — possibly drifting — clocks and renders
+// a causal timeline.
+//
+// The recorder is designed to ride hot paths for free: recording a value is
+// one mutex acquisition and one struct copy into a pre-allocated slot, no
+// heap allocation (all string fields are header copies of strings that
+// already exist). The end-to-end cached-check allocation budget (1 alloc/op,
+// see alloc_test.go at the repo root) holds with a recorder attached.
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wanac/internal/trace"
+)
+
+// Kind groups records into the four event categories the recorder captures.
+type Kind uint8
+
+const (
+	// KindProtocol: a trace.Event from a host or manager.
+	KindProtocol Kind = iota + 1
+	// KindTransport: a netcore peer health transition (connecting/up/backoff).
+	KindTransport
+	// KindNet: a network injection — link cut/restore, partition, heal,
+	// crash, recover, clock-rate — observed on the simulated network, or a
+	// scripted annotation from internal/partition.
+	KindNet
+	// KindQuorum: a quorum decision (update-quorum on a manager, quorum
+	// grant on a host).
+	KindQuorum
+	// KindMark: an out-of-band marker added at dump time (oracle
+	// violations, operator notes).
+	KindMark
+)
+
+var kindNames = map[Kind]string{
+	KindProtocol:  "protocol",
+	KindTransport: "transport",
+	KindNet:       "net",
+	KindQuorum:    "quorum",
+	KindMark:      "mark",
+}
+
+var kindValues = map[string]Kind{
+	"protocol":  KindProtocol,
+	"transport": KindTransport,
+	"net":       KindNet,
+	"quorum":    KindQuorum,
+	"mark":      KindMark,
+}
+
+// String returns the kind's stable dump name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind-%d", uint8(k))
+}
+
+// MarshalJSON renders the kind as its stable name (dump readability beats a
+// bare number; this only runs at dump time, never on the record path).
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the stable names written by MarshalJSON.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("flight: kind %s is not a string", b)
+	}
+	v, ok := kindValues[string(b[1:len(b)-1])]
+	if !ok {
+		return fmt.Errorf("flight: unknown kind %s", b)
+	}
+	*k = v
+	return nil
+}
+
+// Record is one flight-recorder entry. Field types are deliberately plain
+// (strings, ints) so a dump round-trips through JSON without importing the
+// wire package; recording one costs no allocation because every string is a
+// header copy.
+type Record struct {
+	// Seq is the node-local monotonic sequence number, assigned by the
+	// recorder. It keeps same-timestamp records ordered and reveals ring
+	// overwrite gaps (a dump whose first record has Seq > 0 lost history).
+	Seq uint64 `json:"seq"`
+	// T is the node's local clock at record time — subject to drift; the
+	// analyzer maps it onto a common frame (see Align).
+	T time.Time `json:"t"`
+	// Node identifies the recording node. Filled by the recorder.
+	Node string `json:"node"`
+	Kind Kind   `json:"kind"`
+	// Type is the stable event name: a trace.EventType name for protocol
+	// and quorum records, a netcore state name for transport records, an
+	// injection name (link-cut, partition, heal, crash, recover,
+	// clock-rate, annotation) for net records.
+	Type string `json:"type"`
+	// Trace is the causal check ID (trace.Event.Trace) where one exists.
+	Trace uint64 `json:"trace,omitempty"`
+	App   string `json:"app,omitempty"`
+	User  string `json:"user,omitempty"`
+	// Origin/Counter carry wire.UpdateSeq for update events.
+	Origin  string `json:"origin,omitempty"`
+	Counter uint64 `json:"counter,omitempty"`
+	// Peer names the other party: the remote peer for transport records,
+	// the far endpoint for link records.
+	Peer string `json:"peer,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+// Recorder is a fixed-capacity ring of Records. All methods are safe for
+// concurrent use; Record never allocates and never blocks beyond a short
+// mutex hold, so it is cheap enough to leave on in production — that is the
+// point of a flight recorder.
+type Recorder struct {
+	node string
+	now  func() time.Time
+
+	mu   sync.Mutex
+	ring []Record
+	next uint64 // total records ever accepted; the next Seq
+}
+
+// NewRecorder returns a recorder for the named node holding the last size
+// records (minimum 16). now supplies the node's local clock — in simulation
+// this is the node's Env.Now (which may drift); nil means time.Now.
+func NewRecorder(node string, size int, now func() time.Time) *Recorder {
+	if size < 16 {
+		size = 16
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Recorder{node: node, now: now, ring: make([]Record, size)}
+}
+
+// Node returns the recorder's node name.
+func (r *Recorder) Node() string { return r.node }
+
+// Record appends rec to the ring, assigning Seq and Node, and stamping the
+// local clock if rec.T is zero. The oldest record is overwritten once the
+// ring is full.
+func (r *Recorder) Record(rec Record) {
+	rec.Node = r.node
+	r.mu.Lock()
+	if rec.T.IsZero() {
+		// Stamp under the lock so Seq order and timestamp order agree for
+		// records stamped by the recorder itself.
+		rec.T = r.now()
+	}
+	rec.Seq = r.next
+	r.ring[rec.Seq%uint64(len(r.ring))] = rec
+	r.next++
+	r.mu.Unlock()
+}
+
+// RecordEvent records a protocol trace event, classifying quorum decisions
+// (manager update-quorum, host quorum grants) under KindQuorum.
+func (r *Recorder) RecordEvent(e trace.Event) {
+	kind := KindProtocol
+	if e.Type == trace.EventUpdateQuorum || (e.Type == trace.EventAccessAllowed && e.Note == "quorum") {
+		kind = KindQuorum
+	}
+	r.Record(Record{
+		T:       e.Time,
+		Kind:    kind,
+		Type:    e.Type.String(),
+		Trace:   e.Trace,
+		App:     string(e.App),
+		User:    string(e.User),
+		Origin:  string(e.Seq.Origin),
+		Counter: e.Seq.Counter,
+		Note:    e.Note,
+	})
+}
+
+// Total returns how many records were ever accepted (≥ retained).
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot returns the retained records, oldest first.
+func (r *Recorder) Snapshot() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.ring))
+	if r.next < n {
+		n = r.next
+	}
+	out := make([]Record, 0, n)
+	start := r.next - n
+	for s := start; s < r.next; s++ {
+		out = append(out, r.ring[s%uint64(len(r.ring))])
+	}
+	return out
+}
+
+// teeTracer feeds every trace event to a recorder before forwarding it.
+type teeTracer struct {
+	rec  *Recorder
+	next trace.Tracer
+}
+
+// Tee returns a trace.Tracer that records every event into rec and then
+// forwards it to next (which may be nil to stop the chain). This is how
+// nodes get flight recording without the core packages importing flight.
+func Tee(rec *Recorder, next trace.Tracer) trace.Tracer {
+	if next == nil {
+		next = trace.Nop{}
+	}
+	return teeTracer{rec: rec, next: next}
+}
+
+// Emit implements trace.Tracer.
+func (t teeTracer) Emit(e trace.Event) {
+	t.rec.RecordEvent(e)
+	t.next.Emit(e)
+}

@@ -1,0 +1,192 @@
+package flight
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wanac/internal/trace"
+	"wanac/internal/wire"
+)
+
+func fixedClock(at time.Time) func() time.Time {
+	return func() time.Time { return at }
+}
+
+func TestRecorderAssignsSeqAndOverwritesOldest(t *testing.T) {
+	base := time.Unix(1000, 0).UTC()
+	r := NewRecorder("n0", 16, fixedClock(base))
+	for i := 0; i < 40; i++ {
+		r.Record(Record{Kind: KindProtocol, Type: "query-sent"})
+	}
+	if got := r.Total(); got != 40 {
+		t.Fatalf("Total = %d, want 40", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("Snapshot len = %d, want ring size 16", len(snap))
+	}
+	for i, rec := range snap {
+		want := uint64(40 - 16 + i)
+		if rec.Seq != want {
+			t.Fatalf("snap[%d].Seq = %d, want %d (oldest first)", i, rec.Seq, want)
+		}
+		if rec.Node != "n0" {
+			t.Fatalf("snap[%d].Node = %q, want n0", i, rec.Node)
+		}
+		if !rec.T.Equal(base) {
+			t.Fatalf("snap[%d].T = %v, want recorder clock %v", i, rec.T, base)
+		}
+	}
+}
+
+func TestRecorderKeepsCallerTimestamp(t *testing.T) {
+	base := time.Unix(1000, 0).UTC()
+	r := NewRecorder("n0", 16, fixedClock(base))
+	at := base.Add(42 * time.Second)
+	r.Record(Record{T: at, Kind: KindNet, Type: "link-cut"})
+	if got := r.Snapshot()[0].T; !got.Equal(at) {
+		t.Fatalf("T = %v, want caller-supplied %v", got, at)
+	}
+}
+
+func TestRecordEventClassifiesQuorum(t *testing.T) {
+	r := NewRecorder("m0", 16, nil)
+	r.RecordEvent(trace.Event{Type: trace.EventUpdateQuorum, Seq: wire.UpdateSeq{Origin: "m0", Counter: 3}})
+	r.RecordEvent(trace.Event{Type: trace.EventAccessAllowed, Note: "quorum", Trace: 7})
+	r.RecordEvent(trace.Event{Type: trace.EventAccessAllowed, Note: "cached"})
+	r.RecordEvent(trace.Event{Type: trace.EventQuerySent, Trace: 7})
+	snap := r.Snapshot()
+	wantKinds := []Kind{KindQuorum, KindQuorum, KindProtocol, KindProtocol}
+	for i, k := range wantKinds {
+		if snap[i].Kind != k {
+			t.Fatalf("record %d (%s) kind = %v, want %v", i, snap[i].Type, snap[i].Kind, k)
+		}
+	}
+	if snap[0].Origin != "m0" || snap[0].Counter != 3 {
+		t.Fatalf("update seq not carried: %+v", snap[0])
+	}
+	if snap[1].Trace != 7 {
+		t.Fatalf("trace id not carried: %+v", snap[1])
+	}
+}
+
+func TestTeeRecordsAndForwards(t *testing.T) {
+	r := NewRecorder("h0", 16, nil)
+	col := trace.NewCollector(16)
+	tr := Tee(r, col)
+	tr.Emit(trace.Event{Type: trace.EventCacheHit, App: "app", User: "alice"})
+	if got := r.Total(); got != 1 {
+		t.Fatalf("recorder saw %d events, want 1", got)
+	}
+	if got := len(col.Events()); got != 1 {
+		t.Fatalf("next tracer saw %d events, want 1", got)
+	}
+	// nil next must not panic.
+	Tee(r, nil).Emit(trace.Event{Type: trace.EventCacheHit})
+}
+
+func TestRecordDoesNotAllocate(t *testing.T) {
+	r := NewRecorder("h0", 1024, fixedClock(time.Unix(1000, 0)))
+	rec := Record{Kind: KindProtocol, Type: "query-sent", App: "app", User: "alice", Trace: 99, Note: "note"}
+	allocs := testing.AllocsPerRun(1000, func() { r.Record(rec) })
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := NewRecorder("h0", 64, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(Record{Kind: KindTransport, Type: "up", Peer: "m0"})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Total(); got != 1600 {
+		t.Fatalf("Total = %d, want 1600", got)
+	}
+	snap := r.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq != snap[i-1].Seq+1 {
+			t.Fatalf("snapshot seqs not contiguous at %d: %d then %d", i, snap[i-1].Seq, snap[i].Seq)
+		}
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	base := time.Unix(1000, 0).UTC()
+	r := NewRecorder("h0", 16, fixedClock(base))
+	for i := 0; i < 20; i++ { // overflow the ring so Dropped is set
+		r.Record(Record{Kind: KindProtocol, Type: "query-sent", Trace: uint64(i + 1), App: "app", User: "alice"})
+	}
+	var buf bytes.Buffer
+	if err := r.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Header.Flight != DumpVersion {
+		t.Fatalf("version = %d, want %d", d.Header.Flight, DumpVersion)
+	}
+	if len(d.Header.Nodes) != 1 || d.Header.Nodes[0] != "h0" {
+		t.Fatalf("nodes = %v, want [h0]", d.Header.Nodes)
+	}
+	if d.Header.Dropped != 4 {
+		t.Fatalf("dropped = %d, want 4", d.Header.Dropped)
+	}
+	want := r.Snapshot()
+	if len(d.Records) != len(want) {
+		t.Fatalf("records = %d, want %d", len(d.Records), len(want))
+	}
+	for i := range want {
+		if d.Records[i] != want[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, d.Records[i], want[i])
+		}
+	}
+}
+
+func TestReadDumpRejectsFutureVersion(t *testing.T) {
+	in := `{"flight":99,"nodes":["h0"]}` + "\n"
+	if _, err := ReadDump(strings.NewReader(in)); err == nil {
+		t.Fatal("want error for future dump version, got nil")
+	}
+}
+
+func TestReadDumpRejectsRecordWithoutNode(t *testing.T) {
+	in := `{"flight":1,"nodes":["h0"]}` + "\n" + `{"seq":0,"t":"2026-01-01T00:00:00Z","kind":"protocol","type":"query-sent"}` + "\n"
+	if _, err := ReadDump(strings.NewReader(in)); err == nil {
+		t.Fatal("want error for record without node, got nil")
+	}
+}
+
+func TestMergeSortsNodesAndRecords(t *testing.T) {
+	base := time.Unix(1000, 0).UTC()
+	a := NewRecorder("m1", 16, fixedClock(base))
+	b := NewRecorder("h0", 16, fixedClock(base))
+	a.Record(Record{Kind: KindProtocol, Type: "query-served"})
+	b.Record(Record{Kind: KindProtocol, Type: "query-sent"})
+	b.Record(Record{Kind: KindProtocol, Type: "query-timeout"})
+	m := Merge(a.Dump(), b.Dump(), nil)
+	if got, want := strings.Join(m.Header.Nodes, ","), "h0,m1"; got != want {
+		t.Fatalf("merged nodes = %q, want %q", got, want)
+	}
+	if len(m.Records) != 3 {
+		t.Fatalf("merged records = %d, want 3", len(m.Records))
+	}
+	if m.Records[0].Node != "h0" || m.Records[1].Node != "h0" || m.Records[2].Node != "m1" {
+		t.Fatalf("merged order wrong: %v %v %v", m.Records[0].Node, m.Records[1].Node, m.Records[2].Node)
+	}
+	if m.Records[0].Seq != 0 || m.Records[1].Seq != 1 {
+		t.Fatalf("per-node seq order lost: %d then %d", m.Records[0].Seq, m.Records[1].Seq)
+	}
+}

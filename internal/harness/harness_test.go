@@ -24,8 +24,10 @@ func runSweep(t *testing.T, first, n int64, opt Options, minimizeBudget int) *Su
 			rerun, err := RunScenario(minimized, opt)
 			if err == nil && rerun.Failed() {
 				rerun.Scenario = minimized
+				WriteFlightArtifact(rerun)
 				t.Errorf("%s", FormatFailure(rerun))
 			} else {
+				WriteFlightArtifact(res)
 				t.Errorf("%s", FormatFailure(res))
 			}
 		}
@@ -50,6 +52,7 @@ func TestHarnessQuick(t *testing.T) {
 			t.Fatalf("replay seed %d: %v", *replaySeed, err)
 		}
 		if res.Failed() {
+			WriteFlightArtifact(res)
 			t.Errorf("%s", FormatFailure(res))
 		}
 		return

@@ -2,9 +2,14 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"time"
 
 	"wanac/internal/core"
+	"wanac/internal/flight"
 	"wanac/internal/sim"
 	"wanac/internal/simnet"
 	"wanac/internal/wire"
@@ -51,6 +56,14 @@ type Result struct {
 	Oracles []OracleReport
 	// Violations are all invariant breaches, in detection order.
 	Violations []Violation
+	// Flight is the merged multi-node flight dump captured when an oracle
+	// fired (nil on clean runs): every node's recent protocol, quorum, and
+	// injection history, with one mark record per violation. Write it out
+	// with WriteFlightArtifact and feed it to cmd/acflight.
+	Flight *flight.Dump
+	// FlightPath is where WriteFlightArtifact stored the dump ("" until
+	// written).
+	FlightPath string `json:"flight_path,omitempty"`
 }
 
 // Failed reports whether any oracle fired.
@@ -141,8 +154,15 @@ func worldConfig(sc Scenario, opt Options) sim.Config {
 			Duplicate: p.Duplicate,
 			Seed:      sc.Seed,
 		},
+		// Every harness world flies with the recorder on, so a failing seed
+		// explains itself: the ring is sized to hold a full scenario's
+		// events per node at harness scale.
+		FlightRing: flightRing,
 	}
 }
+
+// flightRing is the per-node flight ring size for harness runs.
+const flightRing = 8192
 
 func userID(i int) wire.UserID { return wire.UserID(fmt.Sprintf("u%d", i)) }
 
@@ -222,7 +242,62 @@ func RunScenario(sc Scenario, opt Options) (*Result, error) {
 		})
 		res.Violations = append(res.Violations, o.Violations()...)
 	}
+	if res.Failed() {
+		res.Flight = flightDump(w, res.Violations)
+	}
 	return res, nil
+}
+
+// flightDump merges every node's ring and appends one mark record per
+// violation (pseudo-node "oracle"), so the violation instant sits on the
+// timeline next to the history that led to it.
+func flightDump(w *sim.World, violations []Violation) *flight.Dump {
+	dump := w.FlightDump()
+	if dump == nil {
+		return nil
+	}
+	for i, v := range violations {
+		dump.Records = append(dump.Records, flight.Record{
+			Seq: uint64(i), T: v.At, Node: "oracle", Kind: flight.KindMark,
+			Type: "oracle-violation", Note: v.Oracle + ": " + v.Detail,
+		})
+	}
+	if len(violations) > 0 {
+		dump.Header.Nodes = append(dump.Header.Nodes, "oracle")
+		sort.Strings(dump.Header.Nodes)
+	}
+	return dump
+}
+
+// WriteFlightArtifact persists a failed result's merged flight dump next to
+// the other CI artifacts and records the path in res.FlightPath. The
+// directory is $WANAC_ARTIFACTS when set, else the system temp directory;
+// the file is named by seed so reruns overwrite rather than accumulate. A
+// result without a dump (clean run, or flight disabled) is a no-op.
+func WriteFlightArtifact(res *Result) (string, error) {
+	if res == nil || res.Flight == nil {
+		return "", nil
+	}
+	dir := os.Getenv("WANAC_ARTIFACTS")
+	if dir == "" {
+		dir = os.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "wanac-flight-seed"+strconv.FormatInt(res.Scenario.Seed, 10)+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := res.Flight.Write(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	res.FlightPath = path
+	return path, nil
 }
 
 // exec dispatches one scheduled event. It runs inside a scheduler callback.
@@ -401,6 +476,9 @@ func FormatFailure(res *Result) string {
 	}
 	s += "replay: go test ./internal/harness -run TestHarness -harness.seed=" +
 		fmt.Sprint(res.Scenario.Seed) + "\n"
+	if res.FlightPath != "" {
+		s += "flight dump: " + res.FlightPath + " (render with: go run ./cmd/acflight " + res.FlightPath + ")\n"
+	}
 	s += res.Scenario.String()
 	return s
 }

@@ -10,6 +10,11 @@ type SeedFailure struct {
 	// MinimizedEvents is the delta-debugged schedule that still reproduces
 	// the failure (empty when minimization was disabled).
 	MinimizedEvents []string `json:"minimized_events,omitempty"`
+	// FlightDump is the path to the merged multi-node flight recording for
+	// this failure — from the minimized replay when minimization ran (so the
+	// recording matches the minimized schedule), else from the original run.
+	// Render it with cmd/acflight. Empty if the dump could not be written.
+	FlightDump string `json:"flight_dump,omitempty"`
 	// Replay is the command line reproducing the failure.
 	Replay string `json:"replay"`
 }
@@ -77,11 +82,21 @@ func RunSeeds(firstSeed, n int64, opt Options, minimizeBudget int, progress func
 				Violations: res.Violations,
 				Replay:     replay,
 			}
+			dumpRes := res
 			if minimizeBudget > 0 {
 				minimized := Minimize(sc, opt, minimizeBudget)
 				for _, e := range minimized.Events {
 					fail.MinimizedEvents = append(fail.MinimizedEvents, e.String())
 				}
+				// Re-run the minimized schedule so the embedded flight dump
+				// records exactly the counterexample the report ships, not the
+				// noisier original.
+				if minRes, err := RunScenario(minimized, opt); err == nil && minRes.Failed() && minRes.Flight != nil {
+					dumpRes = minRes
+				}
+			}
+			if path, err := WriteFlightArtifact(dumpRes); err == nil {
+				fail.FlightDump = path
 			}
 			report.Failures = append(report.Failures, fail)
 		}

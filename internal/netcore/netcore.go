@@ -20,7 +20,7 @@
 package netcore
 
 import (
-	"log"
+	"log/slog"
 	"net"
 	"sync/atomic"
 	"time"
@@ -71,6 +71,12 @@ type Config struct {
 	StatsInterval time.Duration
 	// StatsSink receives periodic snapshots when StatsInterval is set.
 	StatsSink func(TransportStats)
+	// StateSink, when set, is invoked on every actual peer health
+	// transition (connecting/up/backoff) — never on no-op calls — outside
+	// any transport lock. The flight recorder subscribes here so transport
+	// flaps appear on failure timelines. The callback must be fast and must
+	// not call back into the transport.
+	StateSink func(peer wire.NodeID, state State)
 	// Dialer opens raw connections for stream transports. Tests inject
 	// blocking or failing dialers here; nil uses net.DialTimeout.
 	Dialer func(network, addr string, timeout time.Duration) (net.Conn, error)
@@ -138,6 +144,11 @@ func WithStatsInterval(d time.Duration) Option { return func(c *Config) { c.Stat
 
 // WithStatsSink directs periodic snapshots to fn instead of the process log.
 func WithStatsSink(fn func(TransportStats)) Option { return func(c *Config) { c.StatsSink = fn } }
+
+// WithStateSink invokes fn on every peer health transition.
+func WithStateSink(fn func(peer wire.NodeID, state State)) Option {
+	return func(c *Config) { c.StateSink = fn }
+}
 
 // BuildConfig applies opts to a default Config.
 func BuildConfig(opts ...Option) Config {
@@ -238,12 +249,23 @@ func (c *Counters) snapshot() TransportStats {
 	}
 }
 
-// logSink is the default StatsSink: one line on the process log, the same
-// place acnode's tracer writes.
+// logSink is the default StatsSink: one structured line on the process
+// logger (slog), the same place acnode's tracer writes, so transport stats
+// are machine-joinable with the rest of a node's log stream.
 func logSink(name string) func(TransportStats) {
 	return func(st TransportStats) {
-		log.Printf("%s transport: sends=%d drops=%d dials=%d dial_failures=%d reconnects=%d in=%dB out=%dB queued=%d up=%d connecting=%d backoff=%d",
-			name, st.Sends, st.Drops, st.Dials, st.DialFailures, st.Reconnects,
-			st.BytesIn, st.BytesOut, st.QueueDepth, st.PeersUp, st.PeersConnecting, st.PeersBackoff)
+		slog.Info("transport stats",
+			"transport", name,
+			"sends", st.Sends,
+			"drops", st.Drops,
+			"dials", st.Dials,
+			"dial_failures", st.DialFailures,
+			"reconnects", st.Reconnects,
+			"bytes_in", st.BytesIn,
+			"bytes_out", st.BytesOut,
+			"queued", st.QueueDepth,
+			"peers_up", st.PeersUp,
+			"peers_connecting", st.PeersConnecting,
+			"peers_backoff", st.PeersBackoff)
 	}
 }

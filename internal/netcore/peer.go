@@ -73,6 +73,15 @@ func newPeer(id wire.NodeID, cfg Config, ctr *Counters, dial DialFunc) *Peer {
 // ID returns the peer's node id.
 func (p *Peer) ID() wire.NodeID { return p.id }
 
+// notify reports a health transition to the configured sink. Callers pass
+// the state observed before and after a mutation and call it after
+// releasing p.mu, so the sink can never deadlock against the transport.
+func (p *Peer) notify(old, now State) {
+	if old != now && p.cfg.StateSink != nil {
+		p.cfg.StateSink(p.id, now)
+	}
+}
+
 // Enqueue queues a frame for the writer goroutine, dropping the oldest
 // queued frame when the queue is full. It never blocks.
 func (p *Peer) Enqueue(frame []byte) {
@@ -108,12 +117,14 @@ func (p *Peer) Adopt(s Sender) bool {
 		p.mu.Unlock()
 		return false
 	}
+	old := p.state
 	p.cur = s
 	p.state = StateUp
 	p.everUp = true
 	p.backoff = 0
 	p.backoffUntil = time.Time{}
 	p.mu.Unlock()
+	p.notify(old, StateUp)
 	p.nudge()
 	return true
 }
@@ -123,13 +134,16 @@ func (p *Peer) Adopt(s Sender) bool {
 // the next frame.
 func (p *Peer) Discard(s Sender) {
 	p.mu.Lock()
+	old := p.state
 	if p.cur == s {
 		p.cur = nil
 		if p.state == StateUp {
 			p.state = StateConnecting
 		}
 	}
+	now := p.state
 	p.mu.Unlock()
+	p.notify(old, now)
 	s.Close()
 	p.nudge()
 }
@@ -140,6 +154,7 @@ func (p *Peer) Discard(s Sender) {
 // clock restarts for the new address.
 func (p *Peer) SetDial(dial DialFunc, dropCurrent bool) {
 	p.mu.Lock()
+	old := p.state
 	p.dial = dial
 	var stale Sender
 	if dropCurrent {
@@ -154,7 +169,9 @@ func (p *Peer) SetDial(dial DialFunc, dropCurrent bool) {
 	if p.state == StateBackoff {
 		p.state = StateConnecting
 	}
+	now := p.state
 	p.mu.Unlock()
+	p.notify(old, now)
 	if stale != nil {
 		stale.Close()
 	}
@@ -165,12 +182,15 @@ func (p *Peer) SetDial(dial DialFunc, dropCurrent bool) {
 // learned a fresh address for the peer).
 func (p *Peer) ClearBackoff() {
 	p.mu.Lock()
+	old := p.state
 	p.backoff = 0
 	p.backoffUntil = time.Time{}
 	if p.state == StateBackoff {
 		p.state = StateConnecting
 	}
+	now := p.state
 	p.mu.Unlock()
+	p.notify(old, now)
 	p.nudge()
 }
 
@@ -313,8 +333,10 @@ func (p *Peer) sender() Sender {
 		p.mu.Unlock()
 		return nil
 	}
+	old := p.state
 	p.state = StateConnecting
 	p.mu.Unlock()
+	p.notify(old, StateConnecting)
 
 	p.ctr.Dials.Add(1)
 	s, err := dial()
@@ -333,6 +355,7 @@ func (p *Peer) sender() Sender {
 		p.backoffUntil = time.Now().Add(d)
 		p.state = StateBackoff
 		p.mu.Unlock()
+		p.notify(StateConnecting, StateBackoff)
 		return nil
 	}
 	if p.cur != nil {
@@ -356,5 +379,6 @@ func (p *Peer) sender() Sender {
 	p.backoff = 0
 	p.backoffUntil = time.Time{}
 	p.mu.Unlock()
+	p.notify(StateConnecting, StateUp)
 	return s
 }

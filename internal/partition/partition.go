@@ -7,8 +7,10 @@
 package partition
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"wanac/internal/simnet"
@@ -20,6 +22,10 @@ import (
 type Event struct {
 	At time.Duration
 	Do func(net *simnet.Network)
+	// Desc names the scripted intent ("split {m0} | {m1 m2}"); Apply
+	// forwards it to the network observer so flight-recorder timelines show
+	// what the script meant, not just the per-link effects.
+	Desc string
 }
 
 // Script is a deterministic scenario: a list of timed events.
@@ -27,34 +33,47 @@ type Script []Event
 
 // Cut returns an event severing the link between two nodes.
 func Cut(at time.Duration, a, b wire.NodeID) Event {
-	return Event{At: at, Do: func(n *simnet.Network) { n.SetLink(a, b, false) }}
+	return Event{At: at, Do: func(n *simnet.Network) { n.SetLink(a, b, false) },
+		Desc: fmt.Sprintf("cut %s-%s", a, b)}
 }
 
 // Restore returns an event restoring the link between two nodes.
 func Restore(at time.Duration, a, b wire.NodeID) Event {
-	return Event{At: at, Do: func(n *simnet.Network) { n.SetLink(a, b, true) }}
+	return Event{At: at, Do: func(n *simnet.Network) { n.SetLink(a, b, true) },
+		Desc: fmt.Sprintf("restore %s-%s", a, b)}
 }
 
 // Split returns an event partitioning the node set into groups.
 func Split(at time.Duration, groups ...[]wire.NodeID) Event {
-	return Event{At: at, Do: func(n *simnet.Network) { n.Partition(groups...) }}
+	parts := make([]string, len(groups))
+	for i, g := range groups {
+		ids := make([]string, len(g))
+		for j, id := range g {
+			ids[j] = string(id)
+		}
+		parts[i] = "{" + strings.Join(ids, " ") + "}"
+	}
+	return Event{At: at, Do: func(n *simnet.Network) { n.Partition(groups...) },
+		Desc: "split " + strings.Join(parts, " | ")}
 }
 
 // Heal returns an event restoring every link.
 func Heal(at time.Duration) Event {
-	return Event{At: at, Do: func(n *simnet.Network) { n.Heal() }}
+	return Event{At: at, Do: func(n *simnet.Network) { n.Heal() }, Desc: "heal"}
 }
 
 // Crash returns an event crashing a node.
 func Crash(at time.Duration, id wire.NodeID) Event {
-	return Event{At: at, Do: func(n *simnet.Network) { n.Crash(id) }}
+	return Event{At: at, Do: func(n *simnet.Network) { n.Crash(id) },
+		Desc: fmt.Sprintf("crash %s", id)}
 }
 
 // Recover returns an event recovering a crashed node. Protocol-level
 // recovery (cache reset, manager sync) is the node's own job; hook it with
 // an extra custom Event.
 func Recover(at time.Duration, id wire.NodeID) Event {
-	return Event{At: at, Do: func(n *simnet.Network) { n.Recover(id) }}
+	return Event{At: at, Do: func(n *simnet.Network) { n.Recover(id) },
+		Desc: fmt.Sprintf("recover %s", id)}
 }
 
 // Apply schedules the script's events on the network's scheduler, relative
@@ -66,7 +85,12 @@ func (s Script) Apply(net *simnet.Network) {
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
 	for _, e := range sorted {
 		e := e
-		net.Scheduler().After(e.At, func() { e.Do(net) })
+		net.Scheduler().After(e.At, func() {
+			if e.Desc != "" {
+				net.Annotate(e.Desc)
+			}
+			e.Do(net)
+		})
 	}
 }
 

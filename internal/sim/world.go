@@ -6,6 +6,7 @@ import (
 
 	"wanac/internal/acl"
 	"wanac/internal/core"
+	"wanac/internal/flight"
 	"wanac/internal/nameservice"
 	"wanac/internal/simnet"
 	"wanac/internal/telemetry"
@@ -59,6 +60,13 @@ type Config struct {
 	// Spans, when non-nil alongside Telemetry, receives check-round spans
 	// from every host and manager (see telemetry.SpanBuffer / SpanWriter).
 	Spans telemetry.SpanRecorder
+	// FlightRing, when > 0, attaches a flight recorder holding that many
+	// records to every node — stamped by each node's own (possibly
+	// drifting) clock — plus a "net" pseudo-node recorder capturing
+	// topology injections on the scheduler's clock. See World.Flights and
+	// World.FlightDump. Ignored under NoTrace (flight records are built
+	// from trace events).
+	FlightRing int
 }
 
 // World is a fully wired simulated deployment.
@@ -73,6 +81,9 @@ type World struct {
 	// AppCalls counts invocations that reached the wrapped application, per
 	// host index (used by the component-wrapper experiment).
 	AppCalls []int
+	// Flights holds each node's flight recorder (plus the "net"
+	// pseudo-node) when Config.FlightRing is set; nil otherwise.
+	Flights map[wire.NodeID]*flight.Recorder
 }
 
 // ManagerID returns the node id of manager i.
@@ -123,6 +134,38 @@ func Build(cfg Config) (*World, error) {
 		AppCalls: make([]int, cfg.Hosts),
 	}
 
+	// Flight recording: each node's tracer is teed into a per-node ring
+	// stamped by that node's clock; the network's injection observer feeds
+	// a "net" pseudo-node ring on the scheduler clock. nodeTracer picks the
+	// per-node chain (the shared tracer when flight is off).
+	flightOn := cfg.FlightRing > 0 && !cfg.NoTrace
+	nodeTracer := func(id wire.NodeID, now func() time.Time) trace.Tracer {
+		if !flightOn {
+			return tracer
+		}
+		rec := flight.NewRecorder(string(id), cfg.FlightRing, now)
+		w.Flights[id] = rec
+		return flight.Tee(rec, tracer)
+	}
+	if flightOn {
+		w.Flights = make(map[wire.NodeID]*flight.Recorder)
+		netRec := flight.NewRecorder("net", cfg.FlightRing, sched.Now)
+		w.Flights["net"] = netRec
+		net.Observer = func(ev simnet.NetEvent) {
+			note := ev.Note
+			switch {
+			case ev.A != "" && ev.B != "":
+				note = string(ev.A) + "-" + string(ev.B)
+				if ev.Note != "" {
+					note += " " + ev.Note
+				}
+			case ev.A != "":
+				note = string(ev.A)
+			}
+			netRec.Record(flight.Record{Kind: flight.KindNet, Type: ev.Type, Note: note})
+		}
+	}
+
 	managerIDs := make([]wire.NodeID, cfg.Managers)
 	for i := range managerIDs {
 		managerIDs[i] = ManagerID(i)
@@ -140,7 +183,7 @@ func Build(cfg Config) (*World, error) {
 	}
 	for i := 0; i < cfg.Managers; i++ {
 		env := NewEnv(managerIDs[i], net)
-		mgr := core.NewManager(managerIDs[i], env, tracer, nil)
+		mgr := core.NewManager(managerIDs[i], env, nodeTracer(managerIDs[i], env.Now), nil)
 		if err := mgr.AddApp(cfg.App, mCfg); err != nil {
 			return nil, fmt.Errorf("manager %d: %w", i, err)
 		}
@@ -170,7 +213,16 @@ func Build(cfg Config) (*World, error) {
 		} else {
 			env = NewEnv(id, net)
 		}
-		host := core.NewHost(id, env, tracer, nil)
+		host := core.NewHost(id, env, nodeTracer(id, env.Now), nil)
+		if flightOn && cfg.HostClockRates != nil && i < len(cfg.HostClockRates) &&
+			cfg.HostClockRates[i] > 0 && cfg.HostClockRates[i] != 1 {
+			// A drifting clock is itself an injection worth seeing on the
+			// timeline; record it once at build.
+			w.Flights[id].Record(flight.Record{
+				Kind: flight.KindNet, Type: "clock-rate",
+				Note: fmt.Sprintf("rate=%g", cfg.HostClockRates[i]),
+			})
+		}
 		hCfg := core.HostAppConfig{Policy: cfg.Policy}
 		if cfg.UseNameService {
 			hCfg.NameService = NameID
@@ -385,3 +437,17 @@ func (w *World) PartitionManagerPair(a, b int) {
 
 // Heal restores all links.
 func (w *World) Heal() { w.Net.Heal() }
+
+// FlightDump merges a snapshot of every node's flight ring (hosts,
+// managers, and the "net" pseudo-node) into one dump, ready for
+// flight.BuildTimeline or cmd/acflight. Nil when flight recording is off.
+func (w *World) FlightDump() *flight.Dump {
+	if w.Flights == nil {
+		return nil
+	}
+	dumps := make([]*flight.Dump, 0, len(w.Flights))
+	for _, rec := range w.Flights {
+		dumps = append(dumps, rec.Dump())
+	}
+	return flight.Merge(dumps...)
+}

@@ -73,6 +73,36 @@ type Network struct {
 	// drops the message. Tests use it for targeted fault injection (e.g.
 	// drop only Update messages between two managers).
 	Filter func(from, to wire.NodeID, msg wire.Message) bool
+	// Observer, when non-nil, is invoked for every topology change and
+	// fault injection (link cut/restore, crash/recover, heal, scripted
+	// annotations) — never on the per-message path. The flight recorder
+	// subscribes here so partition injections appear on failure timelines.
+	// Called from the scheduler goroutine.
+	Observer func(ev NetEvent)
+}
+
+// NetEvent describes one injected fault or topology change.
+type NetEvent struct {
+	// Type is the stable event name: link-cut, link-restored, crash,
+	// recover, heal, or annotation.
+	Type string
+	// A and B are the link endpoints for link events; A alone is set for
+	// crash/recover.
+	A, B wire.NodeID
+	// Note carries free-form detail (annotation text).
+	Note string
+}
+
+func (n *Network) observe(ev NetEvent) {
+	if n.Observer != nil {
+		n.Observer(ev)
+	}
+}
+
+// Annotate reports a scripted, human-named injection (e.g. "split {m0} vs
+// {m1,m2}") to the observer. It does not change the network.
+func (n *Network) Annotate(note string) {
+	n.observe(NetEvent{Type: "annotation", Note: note})
 }
 
 // New creates a network on the given scheduler.
@@ -121,16 +151,18 @@ func (n *Network) Detach(id wire.NodeID) { delete(n.nodes, id) }
 // Crash marks a node failed: messages to it are dropped until Recover. The
 // paper assumes crash (not Byzantine) failures for managers (§2.1).
 func (n *Network) Crash(id wire.NodeID) {
-	if nd, ok := n.nodes[id]; ok {
+	if nd, ok := n.nodes[id]; ok && !nd.crashed {
 		nd.crashed = true
+		n.observe(NetEvent{Type: "crash", A: id})
 	}
 }
 
 // Recover clears the crashed flag. Node-level state reset (empty ACL cache,
 // manager sync) is the node's own responsibility (§3.4).
 func (n *Network) Recover(id wire.NodeID) {
-	if nd, ok := n.nodes[id]; ok {
+	if nd, ok := n.nodes[id]; ok && nd.crashed {
 		nd.crashed = false
+		n.observe(NetEvent{Type: "recover", A: id})
 	}
 }
 
@@ -142,19 +174,44 @@ func (n *Network) Crashed(id wire.NodeID) bool {
 
 // SetLink cuts or restores both directions of the link between a and b.
 func (n *Network) SetLink(a, b wire.NodeID, up bool) {
-	n.SetOneWay(a, b, up)
-	n.SetOneWay(b, a, up)
+	changed := n.setOneWay(a, b, up)
+	changed = n.setOneWay(b, a, up) || changed
+	if changed {
+		n.observe(NetEvent{Type: linkEventType(up), A: a, B: b})
+	}
 }
 
 // SetOneWay cuts or restores a single direction, modelling asymmetric
 // routing failures.
 func (n *Network) SetOneWay(from, to wire.NodeID, up bool) {
+	if n.setOneWay(from, to, up) {
+		n.observe(NetEvent{Type: linkEventType(up), A: from, B: to, Note: "one-way"})
+	}
+}
+
+// setOneWay applies the cut-set change and reports whether anything changed
+// (so repeated Partition calls do not flood the observer).
+func (n *Network) setOneWay(from, to wire.NodeID, up bool) bool {
 	k := linkKey{from, to}
 	if up {
+		if !n.cut[k] {
+			return false
+		}
 		delete(n.cut, k)
-	} else {
-		n.cut[k] = true
+		return true
 	}
+	if n.cut[k] {
+		return false
+	}
+	n.cut[k] = true
+	return true
+}
+
+func linkEventType(up bool) string {
+	if up {
+		return "link-restored"
+	}
+	return "link-cut"
 }
 
 // Linked reports whether messages can currently flow from one node to the
@@ -187,7 +244,12 @@ func (n *Network) Partition(groups ...[]wire.NodeID) {
 }
 
 // Heal restores every cut link.
-func (n *Network) Heal() { n.cut = make(map[linkKey]bool) }
+func (n *Network) Heal() {
+	if len(n.cut) > 0 {
+		n.observe(NetEvent{Type: "heal"})
+	}
+	n.cut = make(map[linkKey]bool)
+}
 
 // Send transmits msg from one node to another with the configured latency,
 // loss, and duplication. It never blocks; delivery happens via the

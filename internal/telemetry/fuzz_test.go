@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fixtureRegistry builds a registry exercising every family kind and
+// every formatting edge the writer has: labeled and unlabeled counters,
+// func-backed and collector-backed gauges, histograms, quote/backslash
+// escaping in label values and help text, and non-finite sample values.
+func fixtureRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("wanac_fuzz_checks_total", "Completed checks.").Add(7)
+	v := reg.CounterVec("wanac_fuzz_outcomes_total", "By outcome.", "outcome")
+	v.With("allowed").Add(3)
+	v.With(`quoted"value`).Inc()
+	v.With("multi\nline").Inc()
+	reg.Gauge("wanac_fuzz_entries", "Help with \"quotes\" and \\slashes\\.\nSecond line.").Set(12.5)
+	reg.GaugeFunc("wanac_fuzz_inf_ratio", "Non-finite.", func() float64 { return math.Inf(1) })
+	reg.GaugeFunc("wanac_fuzz_nan_ratio", "Non-finite.", func() float64 { return math.NaN() })
+	h := reg.Histogram("wanac_fuzz_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, o := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(o)
+	}
+	reg.GaugeSet("wanac_fuzz_peer_state", "Peer states.", []string{"peer", "state"}, func(emit func([]string, float64)) {
+		emit([]string{"m1", "up"}, 1)
+		emit([]string{"m0", "backoff"}, 1)
+	})
+	return reg
+}
+
+// FuzzParseText throws arbitrary input at the exposition parser. The
+// invariants: never panic, and parsing is deterministic — the same
+// bytes always yield the same family-type map or the same rejection.
+// The seed corpus is the writer's own output (the input the parser
+// exists to validate) plus the known malformed shapes.
+func FuzzParseText(f *testing.F) {
+	var buf bytes.Buffer
+	if err := fixtureRegistry().WritePrometheus(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("# TYPE wanac_x counter\nwanac_x 1\n")
+	f.Add("# TYPE wanac_h histogram\nwanac_h_bucket{le=\"+Inf\"} 0\nwanac_h_sum 0\nwanac_h_count 0\n")
+	f.Add("# some bare comment\n\n# TYPE wanac_x gauge\nwanac_x{a=\"b\\\"c\"} 2 12345\n")
+	f.Add("wanac_orphan_total 1")
+	f.Add("# TYPE wanac_x bogus")
+	f.Add("# TYPE wanac_x counter\nwanac_x{l=\"v\" 1")
+	f.Add("# TYPE wanac_x counter\nwanac_x{l=\"\\q\"} 1")
+	f.Add("# TYPE wanac_x counter\nwanac_x +Inf\nwanac_x NaN\nwanac_x -Inf\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		types, err := ParseText(strings.NewReader(in))
+		again, err2 := ParseText(strings.NewReader(in))
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("parse not deterministic: %v vs %v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if len(types) != len(again) {
+			t.Fatalf("parse not deterministic: %d vs %d families", len(types), len(again))
+		}
+		for name, typ := range types {
+			if again[name] != typ {
+				t.Fatalf("parse not deterministic for %q: %q vs %q", name, typ, again[name])
+			}
+			// Everything the parser admits must satisfy its own rules.
+			if !validName(name) {
+				t.Fatalf("parser admitted invalid family name %q", name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("parser admitted unknown type %q for %q", typ, name)
+			}
+		}
+	})
+}
+
+// TestPrometheusWriteParseFixedPoint is the round-trip property behind
+// the fuzz corpus: the writer's output always parses, the parsed
+// family types match what was registered, and writing again produces
+// byte-identical output (the writer sorts families and children, so
+// write→parse→write is a fixed point for an unchanged registry).
+func TestPrometheusWriteParseFixedPoint(t *testing.T) {
+	reg := fixtureRegistry()
+
+	var first bytes.Buffer
+	if err := reg.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	types, err := ParseText(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("writer output rejected by its own parser: %v\n%s", err, first.String())
+	}
+	want := map[string]string{
+		"wanac_fuzz_checks_total":    "counter",
+		"wanac_fuzz_outcomes_total":  "counter",
+		"wanac_fuzz_entries":         "gauge",
+		"wanac_fuzz_inf_ratio":       "gauge",
+		"wanac_fuzz_nan_ratio":       "gauge",
+		"wanac_fuzz_latency_seconds": "histogram",
+		"wanac_fuzz_peer_state":      "gauge",
+	}
+	if len(types) != len(want) {
+		t.Fatalf("parsed %d families, want %d: %v", len(types), len(want), types)
+	}
+	for name, typ := range want {
+		if types[name] != typ {
+			t.Errorf("family %s parsed as %q, want %q", name, types[name], typ)
+		}
+	}
+
+	var second bytes.Buffer
+	if err := reg.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("writer is not a fixed point for an unchanged registry:\n--- first ---\n%s--- second ---\n%s",
+			first.String(), second.String())
+	}
+	if _, err := ParseText(bytes.NewReader(second.Bytes())); err != nil {
+		t.Errorf("second write rejected: %v", err)
+	}
+}

@@ -74,9 +74,10 @@ func (b *SpanBuffer) ByTrace(trace uint64) []Span {
 // errors are counted, not propagated: telemetry must never take down
 // the protocol path.
 type SpanWriter struct {
-	mu   sync.Mutex
-	enc  *json.Encoder
-	errs int
+	mu     sync.Mutex
+	enc    *json.Encoder
+	errs   int
+	closed bool
 }
 
 // NewSpanWriter returns a SpanWriter emitting to w. The caller owns w's
@@ -85,16 +86,35 @@ func NewSpanWriter(w io.Writer) *SpanWriter {
 	return &SpanWriter{enc: json.NewEncoder(w)}
 }
 
-// RecordSpan writes one JSONL record.
+// RecordSpan writes one JSONL record. Spans recorded after Close are
+// dropped and counted by Errors, never written — so a caller that
+// flushes and closes the underlying writer after Close never races a
+// late emitter into a torn line.
 func (w *SpanWriter) RecordSpan(s Span) {
 	w.mu.Lock()
+	if w.closed {
+		w.errs++
+		w.mu.Unlock()
+		return
+	}
 	if err := w.enc.Encode(s); err != nil {
 		w.errs++
 	}
 	w.mu.Unlock()
 }
 
-// Errors reports how many spans failed to encode or write.
+// Close stops the writer: concurrent and subsequent RecordSpan calls
+// become counted drops. It does not close the underlying io.Writer
+// (the caller owns that) and is safe to call more than once.
+func (w *SpanWriter) Close() error {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	return nil
+}
+
+// Errors reports how many spans failed to encode or write, plus any
+// dropped after Close.
 func (w *SpanWriter) Errors() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()

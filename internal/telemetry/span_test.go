@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanWriterCloseWhileEmitting closes a SpanWriter while eight
+// goroutines are mid-stream. The contract under test: no panic, no torn
+// JSONL (everything written parses), every span is either written or
+// counted as a drop, and the test leaks no goroutines. Run under -race
+// in CI, this is the span-recorder lifecycle check.
+func TestSpanWriterCloseWhileEmitting(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	const emitters, perEmitter = 8, 200
+	var buf bytes.Buffer // all access serialized by the writer's mutex
+	w := NewSpanWriter(&buf)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < emitters; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			<-start
+			for n := 0; n < perEmitter; n++ {
+				w.RecordSpan(Span{Trace: uint64(id*perEmitter + n), Node: "h0", Kind: "round"})
+			}
+		}(i)
+	}
+	close(start)
+	w.Close() // races the emitters on purpose
+	wg.Wait()
+
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatalf("stream torn by concurrent close: %v", err)
+	}
+	if got := len(spans) + w.Errors(); got != emitters*perEmitter {
+		t.Fatalf("written %d + dropped %d = %d spans, want %d accounted for",
+			len(spans), w.Errors(), got, emitters*perEmitter)
+	}
+
+	// Post-close behavior: drops are counted, nothing is written, and a
+	// second Close is a no-op.
+	before, errsBefore := buf.Len(), w.Errors()
+	w.RecordSpan(Span{Trace: 1, Node: "h0", Kind: "decision"})
+	if buf.Len() != before {
+		t.Error("RecordSpan after Close wrote to the stream")
+	}
+	if w.Errors() != errsBefore+1 {
+		t.Errorf("post-close span not counted: errors %d, want %d", w.Errors(), errsBefore+1)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+
+	// No goroutine leaks: everything the test started must wind down.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSpanWriterCloseBeforeUse pins the degenerate order: Close first,
+// then record. Every span must surface as a counted drop.
+func TestSpanWriterCloseBeforeUse(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSpanWriter(&buf)
+	w.Close()
+	for i := 0; i < 3; i++ {
+		w.RecordSpan(Span{Trace: uint64(i)})
+	}
+	if buf.Len() != 0 {
+		t.Errorf("closed writer produced output: %q", buf.String())
+	}
+	if w.Errors() != 3 {
+		t.Errorf("errors = %d, want 3", w.Errors())
+	}
+}

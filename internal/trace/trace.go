@@ -50,6 +50,9 @@ const (
 	EventUnfrozen
 	// EventSynced: a recovering manager completed state sync.
 	EventSynced
+	// EventQueryServed: a manager answered a host Query. Appended after the
+	// original set so existing numeric values stay stable.
+	EventQueryServed
 )
 
 var eventNames = map[EventType]string{
@@ -68,6 +71,7 @@ var eventNames = map[EventType]string{
 	EventFrozen:        "frozen",
 	EventUnfrozen:      "unfrozen",
 	EventSynced:        "synced",
+	EventQueryServed:   "query-served",
 }
 
 // String returns the event's stable name.
@@ -91,6 +95,13 @@ type Event struct {
 	// revocations. Zero for event types that do not concern an update.
 	Seq  wire.UpdateSeq
 	Note string
+	// Trace is the causal check identifier (the first query round's nonce,
+	// carried on the wire since the telemetry PR) for events that occur
+	// inside a check's lifecycle: query-sent/-timeout/-served, grant-cached,
+	// and the final access decision. Zero when no check context exists
+	// (cache sweeps, admin updates, freezes). The flight recorder uses it to
+	// align drifting node clocks by matching query-sent/query-served pairs.
+	Trace uint64
 }
 
 // String renders a single trace line.
@@ -105,6 +116,9 @@ func (e Event) String() string {
 	}
 	if e.Seq.Origin != "" {
 		fmt.Fprintf(&b, " seq=%s/%d", e.Seq.Origin, e.Seq.Counter)
+	}
+	if e.Trace != 0 {
+		fmt.Fprintf(&b, " trace=%016x", e.Trace)
 	}
 	if e.Note != "" {
 		fmt.Fprintf(&b, " %s", e.Note)

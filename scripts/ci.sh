@@ -29,6 +29,15 @@ echo "== telemetry (race, repeated)"
 # read it; rerun its suite to shake out ordering-dependent races.
 go test -race -count=2 ./internal/telemetry
 
+echo "== flight recorder (race, repeated)"
+# The flight ring records on every node's protocol path while dump readers
+# snapshot it concurrently; rerun its suite plus the acflight golden
+# timeline test (testdata/timeline.golden) and the /debug/flight endpoint
+# smoke. Harness failures print their merged flight dump path in the
+# failure report (see README, "Debugging a failure").
+go test -race -count=2 ./internal/flight ./cmd/acflight
+go test -race -run TestDebugFlightEndpoint -count=1 ./cmd/acnode
+
 echo "== metrics endpoint smoke"
 # Boots a live two-manager/one-host deployment over TCP, drives a check,
 # scrapes /metrics on host and manager, and fails on malformed exposition

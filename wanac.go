@@ -197,6 +197,16 @@ func WithStatsInterval(d time.Duration) TransportOption { return netcore.WithSta
 // WithStatsSink directs periodic stats snapshots to fn instead of the log.
 func WithStatsSink(fn func(TransportStats)) TransportOption { return netcore.WithStatsSink(fn) }
 
+// WithPeerStateSink invokes fn on every peer health transition with the new
+// state name ("connecting", "up", "backoff"). acnode feeds these into its
+// flight recorder so transport flaps appear on failure timelines; the
+// callback must be fast and must not call back into the transport.
+func WithPeerStateSink(fn func(peer NodeID, state string)) TransportOption {
+	return netcore.WithStateSink(func(peer NodeID, state netcore.State) {
+		fn(peer, state.String())
+	})
+}
+
 // Listen starts a live transport node on network "tcp" or "udp". TCP gives
 // ordered streams with reconnect; UDP is the most literal realization of
 // the paper's network model — nothing below the protocol retransmits.
