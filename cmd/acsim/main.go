@@ -1,8 +1,15 @@
-// Command acsim runs a dynamic wide-area scenario through the simulator:
-// hosts serve a steady stream of user accesses while congestion-driven link
-// flaps partition parts of the network, managers periodically grant and
-// revoke rights, and the tool reports observed availability, revocation
-// latency, and message cost.
+// Command acsim runs wide-area scenarios through the simulator.
+//
+// Named geo-realistic scenarios (internal/scenario) with oracle checking:
+//
+//	acsim list                        show the scenario gallery
+//	acsim run <name> [-seed N]        run one scenario, report oracle verdicts
+//	acsim run <name> -flight          also write the flight dump on violation
+//	acsim table                       run the whole catalog, emit the markdown
+//	                                  gallery table (EXPERIMENTS.md "Scenario
+//	                                  gallery")
+//
+// Legacy ad-hoc mode (flag-driven flap/churn workload):
 //
 //	acsim -managers 10 -hosts 20 -c 5 -te 60s -d 1h -flap 0.05
 //	acsim -preset availability        (Figure 4 policy)
@@ -15,10 +22,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"wanac/internal/core"
 	"wanac/internal/partition"
+	"wanac/internal/scenario"
 	"wanac/internal/sim"
 	"wanac/internal/simnet"
 	"wanac/internal/stats"
@@ -27,6 +36,105 @@ import (
 )
 
 func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		var err error
+		switch args[0] {
+		case "list":
+			err = cmdList()
+		case "run":
+			err = cmdRun(args[1:])
+		case "table":
+			err = cmdTable()
+		default:
+			err = fmt.Errorf("unknown command %q (want list, run, or table)", args[0])
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	legacyMain()
+}
+
+// cmdList prints the scenario gallery.
+func cmdList() error {
+	cat := scenario.Catalog()
+	fmt.Printf("%d named scenarios (run with: acsim run <name> [-seed N])\n\n", len(cat))
+	for _, sc := range cat {
+		fmt.Printf("%s\n", sc.Name)
+		fmt.Printf("    %s\n", sc.Summary)
+		fmt.Printf("    topology=%s load=%s faults=%s\n",
+			sc.Topology.Name, sc.Load.Describe(), sc.FaultSummary())
+	}
+	return nil
+}
+
+// errViolations distinguishes an oracle failure (run completed, invariants
+// broken) from an execution error.
+var errViolations = fmt.Errorf("scenario violated its oracles")
+
+// cmdRun executes one named scenario and reports the oracle verdicts. It
+// returns errViolations when any oracle fired, so CI runs exit non-zero.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	seed := fs.Int64("seed", 0, "seed (0 = the scenario's default)")
+	writeFlight := fs.Bool("flight", false, "write the flight dump artifact on violation")
+	// flag.Parse stops at the first non-flag argument, so parse, take the
+	// scenario name, then parse the remainder — this accepts flags on
+	// either side of the name, matching the documented usage line.
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	name := fs.Arg(0)
+	if name == "" {
+		return fmt.Errorf("usage: acsim run <name> [-seed N] [-flight]")
+	}
+	if err := fs.Parse(fs.Args()[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: acsim run <name> [-seed N] [-flight]")
+	}
+	sc, err := scenario.Lookup(name)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.Run(sc, *seed)
+	if err != nil {
+		return err
+	}
+	if *writeFlight {
+		if _, err := scenario.WriteFlightArtifact(res); err != nil {
+			return fmt.Errorf("write flight artifact: %w", err)
+		}
+	}
+	fmt.Println(sc.String())
+	fmt.Print(scenario.FormatResult(sc, res))
+	if res.Failed() {
+		return errViolations
+	}
+	return nil
+}
+
+// cmdTable runs the full catalog at default seeds and prints the markdown
+// gallery table (the generator behind EXPERIMENTS.md's "Scenario gallery").
+func cmdTable() error {
+	cat := scenario.Catalog()
+	results := make([]*scenario.Result, len(cat))
+	for i, sc := range cat {
+		res, err := scenario.Run(sc, 0)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+	}
+	fmt.Print(scenario.Table(cat, results))
+	return nil
+}
+
+func legacyMain() {
 	var (
 		managers    = flag.Int("managers", 5, "number of managers (M)")
 		hosts       = flag.Int("hosts", 10, "number of application hosts")

@@ -202,23 +202,26 @@ func newAvailabilityOracle() *availabilityOracle {
 	return &availabilityOracle{oracleState: oracleState{name: OracleAvailability}}
 }
 
-// probe tracks one armed post-heal availability obligation.
-type probe struct {
-	host    int
-	user    wire.UserID
-	healAt  time.Time
-	done    bool
-	aborted bool
+// Probe tracks one armed post-heal availability obligation. The driver that
+// armed it marks Done when a probe round sees an allow, or Aborted when
+// interference (a new disruption, a host reset, a revocation of the probed
+// user) voids the obligation.
+type Probe struct {
+	Host    int
+	User    wire.UserID
+	HealAt  time.Time
+	Done    bool
+	Aborted bool
 }
 
 // armed records that a probe was created (one observation each).
 func (o *availabilityOracle) armed() { o.obs++ }
 
 // judge closes a probe at its deadline.
-func (o *availabilityOracle) judge(pr *probe, at time.Time, window time.Duration) {
-	if pr.done || pr.aborted {
+func (o *availabilityOracle) judge(pr *Probe, at time.Time, window time.Duration) {
+	if pr.Done || pr.Aborted {
 		return
 	}
 	o.fail(at, "host h%d never confirmed access for stable user %s within %s of heal",
-		pr.host, pr.user, window)
+		pr.Host, pr.User, window)
 }

@@ -19,9 +19,9 @@ import (
 // retransmissions and post-heal probes resolve before oracles are judged.
 const Settle = 90 * time.Second
 
-// availWindow is how long after a heal the availability oracle waits for a
-// confirmed access before declaring a liveness violation.
-const availWindow = 60 * time.Second
+// availWindow is the harness's alias for the shared post-heal liveness
+// window (see AvailabilityWindow in attach.go).
+const availWindow = AvailabilityWindow
 
 // Options selects deliberate protocol misconfigurations, used by the
 // harness's own tests to prove the oracles catch real bugs. All-zero
@@ -94,9 +94,7 @@ type runner struct {
 	lastDisrupt time.Time
 	lastReset   []time.Time
 
-	rev   *revocationOracle
-	cache *cacheOracle
-	avail *availabilityOracle
+	oracles *OracleSet
 
 	decisions int
 	invokes   int
@@ -195,9 +193,7 @@ func RunScenario(sc Scenario, opt Options) (*Result, error) {
 		grantedAt: make(map[wire.UserID]time.Time),
 		inflight:  make(map[wire.UserID]bool),
 		lastReset: make([]time.Time, p.Hosts),
-		rev:       newRevocationOracle(p.Te, p.QueryTimeout),
-		cache:     newCacheOracle(p.CacheLimit),
-		avail:     newAvailabilityOracle(),
+		oracles:   NewOracleSet(p.Te, p.QueryTimeout, p.CacheLimit),
 	}
 	r.users = make([]wire.UserID, p.Users)
 	start := w.Sched.Now()
@@ -230,28 +226,25 @@ func RunScenario(sc Scenario, opt Options) (*Result, error) {
 
 	w.RunFor(p.Horizon + Settle)
 
-	seq := newSequencingOracle()
-	seq.analyze(w.Tracer.Events(), w.UpdateQuorumTimes())
+	r.oracles.AnalyzeTrace(w.Tracer.Events(), w.UpdateQuorumTimes())
 
-	res := &Result{Scenario: sc, Decisions: r.decisions, Invokes: r.invokes}
-	for _, o := range []Oracle{r.rev, seq, r.cache, r.avail} {
-		res.Oracles = append(res.Oracles, OracleReport{
-			Name:         o.Name(),
-			Observations: o.Observations(),
-			Violations:   len(o.Violations()),
-		})
-		res.Violations = append(res.Violations, o.Violations()...)
+	res := &Result{
+		Scenario:   sc,
+		Decisions:  r.decisions,
+		Invokes:    r.invokes,
+		Oracles:    r.oracles.Reports(),
+		Violations: r.oracles.Violations(),
 	}
 	if res.Failed() {
-		res.Flight = flightDump(w, res.Violations)
+		res.Flight = MarkedFlightDump(w, res.Violations)
 	}
 	return res, nil
 }
 
-// flightDump merges every node's ring and appends one mark record per
+// MarkedFlightDump merges every node's ring and appends one mark record per
 // violation (pseudo-node "oracle"), so the violation instant sits on the
 // timeline next to the history that led to it.
-func flightDump(w *sim.World, violations []Violation) *flight.Dump {
+func MarkedFlightDump(w *sim.World, violations []Violation) *flight.Dump {
 	dump := w.FlightDump()
 	if dump == nil {
 		return nil
@@ -278,25 +271,39 @@ func WriteFlightArtifact(res *Result) (string, error) {
 	if res == nil || res.Flight == nil {
 		return "", nil
 	}
+	path, err := WriteDumpArtifact("wanac-flight-seed"+strconv.FormatInt(res.Scenario.Seed, 10)+".jsonl", res.Flight)
+	if err != nil {
+		return "", err
+	}
+	res.FlightPath = path
+	return path, nil
+}
+
+// WriteDumpArtifact persists a flight dump under the CI artifact directory
+// ($WANAC_ARTIFACTS when set, else the system temp directory) with the
+// given file name, creating the directory if needed. A nil dump is a no-op.
+func WriteDumpArtifact(filename string, dump *flight.Dump) (string, error) {
+	if dump == nil {
+		return "", nil
+	}
 	dir := os.Getenv("WANAC_ARTIFACTS")
 	if dir == "" {
 		dir = os.TempDir()
 	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, "wanac-flight-seed"+strconv.FormatInt(res.Scenario.Seed, 10)+".jsonl")
+	path := filepath.Join(dir, filename)
 	f, err := os.Create(path)
 	if err != nil {
 		return "", err
 	}
-	if err := res.Flight.Write(f); err != nil {
+	if err := dump.Write(f); err != nil {
 		f.Close()
 		return "", err
 	}
 	if err := f.Close(); err != nil {
 		return "", err
 	}
-	res.FlightPath = path
 	return path, nil
 }
 
@@ -382,7 +389,7 @@ func (r *runner) check(host int, user wire.UserID) {
 		// Re-read at decision time: jurisdiction lapses if a re-grant (which
 		// deletes the entry) or a newer revocation landed meanwhile.
 		cur, still := r.revokedAt[user]
-		r.rev.judge(user, host, start, at, still && cur.Equal(at), d.Allowed, d.DefaultAllowed)
+		r.oracles.JudgeCheck(user, host, start, at, still && cur.Equal(at), d.Allowed, d.DefaultAllowed)
 	})
 }
 
@@ -390,7 +397,7 @@ func (r *runner) check(host int, user wire.UserID) {
 func (r *runner) sweepCaches() {
 	for i := range r.w.Hosts {
 		_, retained, expired := r.w.CacheObservation(i)
-		r.cache.sweep(r.now(), i, len(retained), len(expired))
+		r.oracles.SweepCache(r.now(), i, len(retained), len(expired))
 	}
 }
 
@@ -402,14 +409,13 @@ func (r *runner) armAvailability(healAt time.Time) {
 		if !ok {
 			continue
 		}
-		pr := &probe{host: hi, user: user, healAt: healAt}
-		r.avail.armed()
+		pr := r.oracles.ArmProbe(hi, user, healAt)
 		// First probe waits out a few update-retry rounds so managers can
 		// reconverge; retries then cover benign message loss.
 		r.w.Sched.After(3*r.sc.Params.UpdateRetry, func() { r.probeOnce(pr) })
 		r.w.Sched.After(availWindow, func() {
 			if !r.interferes(pr) {
-				r.avail.judge(pr, r.now(), availWindow)
+				r.oracles.JudgeProbe(pr, r.now(), availWindow)
 			}
 		})
 	}
@@ -434,32 +440,32 @@ func (r *runner) stableUser(healAt time.Time) (wire.UserID, bool) {
 // interferes reports whether events since the heal invalidated the probe:
 // a new disruption, a reset of the probed host, or a loss of the user's
 // granted status (revocation or a pending admin op).
-func (r *runner) interferes(pr *probe) bool {
-	if r.lastDisrupt.After(pr.healAt) || r.lastReset[pr.host].After(pr.healAt) {
+func (r *runner) interferes(pr *Probe) bool {
+	if r.lastDisrupt.After(pr.HealAt) || r.lastReset[pr.Host].After(pr.HealAt) {
 		return true
 	}
-	if _, revoked := r.revokedAt[pr.user]; revoked {
+	if _, revoked := r.revokedAt[pr.User]; revoked {
 		return true
 	}
-	return r.inflight[pr.user]
+	return r.inflight[pr.User]
 }
 
 // probeOnce runs one availability probe round and reschedules until the
 // window closes.
-func (r *runner) probeOnce(pr *probe) {
-	if pr.done || pr.aborted {
+func (r *runner) probeOnce(pr *Probe) {
+	if pr.Done || pr.Aborted {
 		return
 	}
 	if r.interferes(pr) {
-		pr.aborted = true
+		pr.Aborted = true
 		return
 	}
-	if r.now().Sub(pr.healAt) > availWindow {
+	if r.now().Sub(pr.HealAt) > availWindow {
 		return
 	}
-	r.w.Hosts[pr.host].Check(r.w.Cfg.App, pr.user, wire.RightUse, func(d core.Decision) {
+	r.w.Hosts[pr.Host].Check(r.w.Cfg.App, pr.User, wire.RightUse, func(d core.Decision) {
 		if d.Allowed {
-			pr.done = true
+			pr.Done = true
 		}
 	})
 	r.w.Sched.After(2*time.Second, func() { r.probeOnce(pr) })

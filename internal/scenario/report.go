@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FormatResult renders one run's outcome as the `acsim run` transcript
+// block. The output is deterministic for a given (scenario, seed).
+func FormatResult(sc *Scenario, res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run %s seed=%d\n", res.Name, res.Seed)
+	fmt.Fprintf(&b, "  checks:     %d issued, %d decided (%d allowed, %d denied, %d default-allowed)\n",
+		res.Checks, res.Decisions, res.Allowed, res.Denied, res.DefaultAllowed)
+	if sc.AdminEvery > 0 {
+		fmt.Fprintf(&b, "  revocations: %d at quorum, lag p99 %s over %d measured\n",
+			res.Revocations, fmtLag(res.RevocationLagP99), len(res.RevocationLags))
+	}
+	fmt.Fprintf(&b, "  network:    %s\n", res.Net)
+	fmt.Fprintf(&b, "  oracles:\n")
+	for _, o := range res.Oracles {
+		verdict := "pass"
+		if o.Violations > 0 {
+			verdict = fmt.Sprintf("FAIL (%d violations)", o.Violations)
+		}
+		fmt.Fprintf(&b, "    %-22s %-22s %d observations\n", o.Name, verdict, o.Observations)
+	}
+	for _, v := range res.Violations {
+		fmt.Fprintf(&b, "  violation: %s\n", v)
+	}
+	if res.FlightPath != "" {
+		fmt.Fprintf(&b, "  flight dump: %s (render with: go run ./cmd/acflight %s)\n",
+			res.FlightPath, res.FlightPath)
+	}
+	return b.String()
+}
+
+// Verdict compresses the oracle outcome to one word per oracle for the
+// gallery table: "4/4 pass" or "revocation-safety:12".
+func Verdict(res *Result) string {
+	var failed []string
+	for _, o := range res.Oracles {
+		if o.Violations > 0 {
+			failed = append(failed, fmt.Sprintf("%s:%d", o.Name, o.Violations))
+		}
+	}
+	if len(failed) == 0 {
+		return fmt.Sprintf("%d/%d pass", len(res.Oracles), len(res.Oracles))
+	}
+	return strings.Join(failed, ", ")
+}
+
+func fmtLag(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return d.Round(100 * time.Millisecond).String()
+}
+
+// Table renders the scenario gallery as a markdown table, one row per
+// (scenario, result) pair — the generator behind EXPERIMENTS.md's
+// "Scenario gallery" section (`acsim table`).
+func Table(scs []*Scenario, results []*Result) string {
+	var b strings.Builder
+	b.WriteString("| scenario | regions | M/C | load | faults | oracles | revocation lag p99 |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for i, sc := range scs {
+		res := results[i]
+		p := sc.policy()
+		fmt.Fprintf(&b, "| %s | %d (%s) | %d/%d | %s | %s | %s | %s |\n",
+			sc.Name,
+			len(sc.Topology.Regions), sc.Topology.Name,
+			sc.Topology.Managers(), p.CheckQuorum,
+			sc.Load.Describe(),
+			sc.FaultSummary(),
+			Verdict(res),
+			fmtLag(res.RevocationLagP99),
+		)
+	}
+	return b.String()
+}

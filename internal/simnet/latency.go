@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"wanac/internal/wire"
 )
 
 // LatencyModel samples per-message one-way delivery delays. Models must be
@@ -58,6 +60,25 @@ func (e Exponential) Sample(rng *rand.Rand) time.Duration {
 	return d
 }
 
+// Scaled multiplies another model's samples by Factor, modelling a degraded
+// ("slow but not dead") path: the distribution's shape is preserved while
+// its whole scale stretches. Factor below zero clamps samples to zero.
+type Scaled struct {
+	Model  LatencyModel
+	Factor float64
+}
+
+var _ LatencyModel = Scaled{}
+
+// Sample draws from the wrapped model and scales the result.
+func (s Scaled) Sample(rng *rand.Rand) time.Duration {
+	d := time.Duration(float64(s.Model.Sample(rng)) * s.Factor)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
 // LogNormal models latency as exp(N(Mu, Sigma)) scaled to nanoseconds of
 // Scale, matching measured Internet RTT distributions more closely than the
 // exponential model for some paths.
@@ -79,4 +100,58 @@ func (l LogNormal) Sample(rng *rand.Rand) time.Duration {
 		d = 0
 	}
 	return d
+}
+
+// LinkLatencyModel samples per-message delays that depend on which directed
+// link carries the message, so a network can model geography: different
+// region pairs get different distributions, and A→B need not match B→A
+// (asymmetric routing). Like LatencyModel, implementations must be
+// deterministic given the rng stream.
+type LinkLatencyModel interface {
+	SampleLink(from, to wire.NodeID, rng *rand.Rand) time.Duration
+}
+
+// ClassPair is one ordered (source class, destination class) key of a
+// Matrix — typically a (from-region, to-region) pair.
+type ClassPair struct {
+	From, To string
+}
+
+// Matrix is a per-directed-link latency model: every node maps to a class
+// (e.g. its geographic region) via Class, and each ordered class pair
+// selects its own delay model. Because keys are ordered, the matrix is
+// asymmetric by construction: Models[{eu,us}] and Models[{us,eu}] are
+// independent entries. Nodes or pairs without an entry fall back to
+// Default.
+type Matrix struct {
+	// Class maps a node to its class name. Nil maps every node to "".
+	Class func(wire.NodeID) string
+	// Models holds the per-ordered-pair delay models.
+	Models map[ClassPair]LatencyModel
+	// Default is used for pairs absent from Models. Nil means Fixed(10ms),
+	// matching the network's own default.
+	Default LatencyModel
+}
+
+var _ LinkLatencyModel = (*Matrix)(nil)
+
+// Link returns the model the matrix would use for messages from → to. It
+// never returns nil.
+func (m *Matrix) Link(from, to wire.NodeID) LatencyModel {
+	var cf, ct string
+	if m.Class != nil {
+		cf, ct = m.Class(from), m.Class(to)
+	}
+	if mod, ok := m.Models[ClassPair{From: cf, To: ct}]; ok {
+		return mod
+	}
+	if m.Default != nil {
+		return m.Default
+	}
+	return Fixed{D: 10 * time.Millisecond}
+}
+
+// SampleLink implements LinkLatencyModel.
+func (m *Matrix) SampleLink(from, to wire.NodeID, rng *rand.Rand) time.Duration {
+	return m.Link(from, to).Sample(rng)
 }

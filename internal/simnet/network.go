@@ -25,6 +25,11 @@ func (f HandlerFunc) HandleMessage(from wire.NodeID, msg wire.Message) { f(from,
 type Config struct {
 	// Latency is the default one-way delay model. Nil means Fixed(10ms).
 	Latency LatencyModel
+	// LinkLatency, when non-nil, samples delays per directed link (e.g. a
+	// region RTT matrix, see Matrix) instead of the uniform Latency model.
+	// Per-link overrides installed with SetLinkLatency take precedence over
+	// both.
+	LinkLatency LinkLatencyModel
 	// Loss is the default per-message drop probability in [0,1].
 	Loss float64
 	// Duplicate is the probability a delivered message is delivered twice,
@@ -68,7 +73,10 @@ type Network struct {
 	nodes    map[wire.NodeID]*node
 	cut      map[linkKey]bool    // severed links (directional entries)
 	linkLoss map[linkKey]float64 // per-link loss overrides
-	counters Counters
+	// linkLatency holds per-directed-link latency overrides (gray failures:
+	// slow-but-not-dead links, congestion bursts) installed at runtime.
+	linkLatency map[linkKey]LatencyModel
+	counters    Counters
 	// Filter, when non-nil, is consulted for every send; returning false
 	// drops the message. Tests use it for targeted fault injection (e.g.
 	// drop only Update messages between two managers).
@@ -115,13 +123,14 @@ func New(sched *Scheduler, cfg Config) *Network {
 		seed = 1
 	}
 	return &Network{
-		sched:    sched,
-		rng:      rand.New(rand.NewSource(seed)),
-		cfg:      cfg,
-		nodes:    make(map[wire.NodeID]*node),
-		cut:      make(map[linkKey]bool),
-		linkLoss: make(map[linkKey]float64),
-		counters: newCounters(),
+		sched:       sched,
+		rng:         rand.New(rand.NewSource(seed)),
+		cfg:         cfg,
+		nodes:       make(map[wire.NodeID]*node),
+		cut:         make(map[linkKey]bool),
+		linkLoss:    make(map[linkKey]float64),
+		linkLatency: make(map[linkKey]LatencyModel),
+		counters:    newCounters(),
 	}
 }
 
@@ -229,16 +238,88 @@ func (n *Network) SetLinkLoss(from, to wire.NodeID, p float64) {
 	n.linkLoss[k] = p
 }
 
+// SetLinkLatency overrides the delay model for one direction of a link —
+// the injection point for slow-but-not-dead links and congestion bursts.
+// Pass nil to remove the override and fall back to the configured
+// LinkLatency matrix or default model. Changes are reported to the
+// observer so gray failures appear on flight-recorder timelines.
+func (n *Network) SetLinkLatency(from, to wire.NodeID, m LatencyModel) {
+	k := linkKey{from, to}
+	if m == nil {
+		if _, ok := n.linkLatency[k]; ok {
+			delete(n.linkLatency, k)
+			n.observe(NetEvent{Type: "link-latency-cleared", A: from, B: to})
+		}
+		return
+	}
+	_, had := n.linkLatency[k]
+	n.linkLatency[k] = m
+	if !had {
+		n.observe(NetEvent{Type: "link-latency-set", A: from, B: to})
+	}
+}
+
+// sampleLatency draws the one-way delay for a message on the directed link
+// from → to: a runtime override if installed, else the configured per-link
+// matrix, else the uniform default model.
+func (n *Network) sampleLatency(from, to wire.NodeID) time.Duration {
+	if m, ok := n.linkLatency[linkKey{from, to}]; ok {
+		return m.Sample(n.rng)
+	}
+	if n.cfg.LinkLatency != nil {
+		return n.cfg.LinkLatency.SampleLink(from, to, n.rng)
+	}
+	return n.cfg.Latency.Sample(n.rng)
+}
+
 // Partition severs every link between the given groups while leaving links
 // within each group intact. Nodes not mentioned keep their current links.
+// Repeated or overlapping Partition calls emit exactly one NetEvent per
+// link that actually changed state: already-cut pairs are silent, and a
+// node appearing in more than one group never severs (or reports) a
+// self-link.
 func (n *Network) Partition(groups ...[]wire.NodeID) {
 	for i := 0; i < len(groups); i++ {
 		for j := i + 1; j < len(groups); j++ {
 			for _, a := range groups[i] {
 				for _, b := range groups[j] {
+					if a == b {
+						// Overlapping groups: a node is never partitioned
+						// from itself.
+						continue
+					}
 					n.SetLink(a, b, false)
 				}
 			}
+		}
+	}
+}
+
+// PartitionOneWay severs only the from→to direction of every link between
+// the two groups: senders in from still hear the to side, but nothing they
+// send arrives — the gray-failure shape of asymmetric routing loss. Like
+// Partition, repeated calls emit one NetEvent per actually changed
+// direction and self-links are skipped.
+func (n *Network) PartitionOneWay(from, to []wire.NodeID) {
+	for _, a := range from {
+		for _, b := range to {
+			if a == b {
+				continue
+			}
+			n.SetOneWay(a, b, false)
+		}
+	}
+}
+
+// RestoreOneWay undoes PartitionOneWay for the same groups, restoring only
+// the from→to direction of each link.
+func (n *Network) RestoreOneWay(from, to []wire.NodeID) {
+	for _, a := range from {
+		for _, b := range to {
+			if a == b {
+				continue
+			}
+			n.SetOneWay(a, b, true)
 		}
 	}
 }
@@ -286,10 +367,10 @@ func (n *Network) Send(from, to wire.NodeID, msg wire.Message) {
 		n.counters.Dropped++
 		return
 	}
-	n.deliverAfter(n.cfg.Latency.Sample(n.rng), from, to, msg)
+	n.deliverAfter(n.sampleLatency(from, to), from, to, msg)
 	if n.cfg.Duplicate > 0 && n.rng.Float64() < n.cfg.Duplicate {
 		n.counters.Duplicated++
-		n.deliverAfter(n.cfg.Latency.Sample(n.rng), from, to, msg)
+		n.deliverAfter(n.sampleLatency(from, to), from, to, msg)
 	}
 }
 

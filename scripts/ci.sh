@@ -45,6 +45,13 @@ echo "== metrics endpoint smoke"
 # inside the test).
 go test -race -run TestMetricsEndpointSmoke -count=1 ./cmd/acnode
 
+echo "== scenario suite (race, repeated)"
+# Three fast catalog scenarios (steady-baseline, oneway-blackout,
+# revoke-under-partition) re-run end to end under the race detector with
+# all four oracles attached; the test fails on any oracle violation, so a
+# regression in revocation safety or failover shows up here, not in prod.
+go test -race -count=2 -run TestCIFastScenarios ./internal/scenario
+
 echo "== benchmark smoke (one iteration each)"
 # One iteration per benchmark: catches benchmarks that fatal or hang without
 # paying full measurement time. Real numbers come from scripts/bench.sh.
