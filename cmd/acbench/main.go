@@ -27,6 +27,7 @@ import (
 	"wanac/internal/simnet"
 	"wanac/internal/tcpnet"
 	"wanac/internal/telemetry"
+	"wanac/internal/udpnet"
 	"wanac/internal/wire"
 )
 
@@ -97,8 +98,9 @@ func main() {
 	out := flag.String("out", "BENCH.json", "path of the JSON report to write")
 	trials := flag.Int("trials", 2000, "Monte Carlo trials per engine timing cell")
 	commit := flag.String("commit", "", "commit hash to stamp into the report")
-	rtts := flag.Int("live-rtts", 1000, "live TCP round trips to time")
-	liveMsgs := flag.Int("live-msgs", 50000, "live TCP one-way throughput messages")
+	rtts := flag.Int("live-rtts", 1000, "live transport round trips to time")
+	liveMsgs := flag.Int("live-msgs", 50000, "live transport one-way throughput messages")
+	baseline := flag.String("baseline", "", "previous BENCH.json to print a live before/after comparison against")
 	flag.Parse()
 
 	rep := report{
@@ -249,8 +251,13 @@ func main() {
 		fatal(err)
 	}
 	rep.Live = append(rep.Live, lr)
-	fmt.Printf("  %-14s %d round trips: p50 %.1fus p99 %.1fus; %d msgs one-way: %.0f msgs/s (%d delivered, %d dropped)\n",
-		lr.Name, lr.RoundTrips, lr.RTTp50Us, lr.RTTp99Us, lr.Messages, lr.MsgsPerSec, lr.Delivered, lr.Dropped)
+	printLive(lr)
+	ur, err := liveUDP(*rtts, *liveMsgs)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Live = append(rep.Live, ur)
+	printLive(ur)
 
 	tr, err := telemetrySection(reg, rttHist)
 	if err != nil {
@@ -269,6 +276,47 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("\nwrote %s\n", *out)
+
+	if *baseline != "" {
+		if err := compareLive(*baseline, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "acbench: baseline comparison skipped: %v\n", err)
+		}
+	}
+}
+
+func printLive(lr liveResult) {
+	fmt.Printf("  %-14s %d round trips: p50 %.1fus p99 %.1fus; %d msgs one-way: %.0f msgs/s (%d delivered, %d dropped)\n",
+		lr.Name, lr.RoundTrips, lr.RTTp50Us, lr.RTTp99Us, lr.Messages, lr.MsgsPerSec, lr.Delivered, lr.Dropped)
+}
+
+// compareLive prints a before/after table of the live transport results
+// against a previous report, so scripts/bench.sh can show what a change did
+// to throughput and tail latency without external tooling.
+func compareLive(path string, rep report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return err
+	}
+	prev := make(map[string]liveResult, len(old.Live))
+	for _, lr := range old.Live {
+		prev[lr.Name] = lr
+	}
+	fmt.Printf("\nlive before/after (baseline commit %s):\n", old.Commit)
+	for _, lr := range rep.Live {
+		o, ok := prev[lr.Name]
+		if !ok || o.MsgsPerSec <= 0 {
+			fmt.Printf("  %-14s %.0f msgs/s, rtt p99 %.1fus (no baseline entry)\n",
+				lr.Name, lr.MsgsPerSec, lr.RTTp99Us)
+			continue
+		}
+		fmt.Printf("  %-14s throughput %.0f -> %.0f msgs/s (%.2fx); rtt p99 %.1f -> %.1f us\n",
+			lr.Name, o.MsgsPerSec, lr.MsgsPerSec, lr.MsgsPerSec/o.MsgsPerSec, o.RTTp99Us, lr.RTTp99Us)
+	}
+	return nil
 }
 
 // telemetrySection produces the registry-backed percentile snapshots: the
@@ -323,11 +371,20 @@ func telemetrySection(reg *telemetry.Registry, rtt *telemetry.Histogram) (teleme
 	}, nil
 }
 
-// liveTCP benchmarks the transport over real loopback sockets: rtts
-// sequential Heartbeat→HeartbeatAck round trips for latency percentiles,
-// then msgs one-way sends as fast as the queue accepts them for throughput.
-// Each round trip is also observed into rtt for the registry-backed
-// percentile snapshot.
+// liveNode is the surface both live transports share, enough to drive the
+// loopback benchmark.
+type liveNode interface {
+	Send(to wire.NodeID, msg wire.Message)
+	SetHandler(h netcore.Handler)
+	AddPeer(id wire.NodeID, addr string) error
+	Addr() string
+	Stats() netcore.TransportStats
+	Close() error
+}
+
+// liveTCP benchmarks the TCP transport over real loopback sockets. Each
+// round trip is also observed into rtt for the registry-backed percentile
+// snapshot.
 func liveTCP(rtts, msgs int, rtt *telemetry.Histogram) (liveResult, error) {
 	cfg := netcore.BuildConfig(netcore.WithQueueDepth(msgs + 64))
 	a, err := tcpnet.ListenConfig("bench-a", "127.0.0.1:0", cfg)
@@ -340,6 +397,39 @@ func liveTCP(rtts, msgs int, rtt *telemetry.Histogram) (liveResult, error) {
 		return liveResult{}, err
 	}
 	defer b.Close()
+	return liveRun("tcp_loopback", a, b, rtts, msgs, rtt, false)
+}
+
+// liveUDP benchmarks the UDP transport the same way. Datagrams can vanish
+// without any counter moving (kernel socket buffers overflow silently under
+// a throughput blast), so the run is loss-tolerant: lost round trips are
+// skipped rather than fatal, and the throughput leg settles once the
+// delivered count stops moving, crediting only what actually arrived.
+func liveUDP(rtts, msgs int) (liveResult, error) {
+	cfg := netcore.BuildConfig(netcore.WithQueueDepth(msgs + 64))
+	a, err := udpnet.ListenConfig("bench-a", "127.0.0.1:0", cfg)
+	if err != nil {
+		return liveResult{}, err
+	}
+	defer a.Close()
+	b, err := udpnet.ListenConfig("bench-b", "127.0.0.1:0", cfg)
+	if err != nil {
+		return liveResult{}, err
+	}
+	defer b.Close()
+	if err := b.AddPeer("bench-a", a.Addr()); err != nil {
+		return liveResult{}, err
+	}
+	return liveRun("udp_loopback", a, b, rtts, msgs, nil, true)
+}
+
+// liveRun drives the shared benchmark: rtts sequential Heartbeat→
+// HeartbeatAck round trips for latency percentiles, then msgs one-way sends
+// as fast as the queue accepts them for throughput (Query frames are counted
+// at the receiver, not echoed). lossy marks transports that can drop
+// silently (UDP): round-trip timeouts are skipped instead of fatal, and the
+// throughput leg completes when delivery stops advancing.
+func liveRun(name string, a, b liveNode, rtts, msgs int, rtt *telemetry.Histogram, lossy bool) (liveResult, error) {
 	if err := a.AddPeer("bench-b", b.Addr()); err != nil {
 		return liveResult{}, err
 	}
@@ -350,47 +440,75 @@ func liveTCP(rtts, msgs int, rtt *telemetry.Histogram) (liveResult, error) {
 	a.SetHandler(ackHandler{acks: acks})
 
 	// Latency: one outstanding round trip at a time.
+	rttTimeout := 5 * time.Second
+	if lossy {
+		rttTimeout = 250 * time.Millisecond
+	}
 	lat := make([]time.Duration, 0, rtts)
 	for i := 0; i < rtts; i++ {
+		// Drain any straggler ack from a timed-out trip so it cannot be
+		// credited to this one.
+		select {
+		case <-acks:
+		default:
+		}
 		t0 := time.Now()
 		a.Send("bench-b", wire.Heartbeat{Nonce: uint64(i)})
 		select {
 		case <-acks:
 			d := time.Since(t0)
 			lat = append(lat, d)
-			rtt.Observe(d.Seconds())
-		case <-time.After(5 * time.Second):
-			return liveResult{}, fmt.Errorf("live TCP: round trip %d timed out", i)
+			if rtt != nil {
+				rtt.Observe(d.Seconds())
+			}
+		case <-time.After(rttTimeout):
+			if !lossy {
+				return liveResult{}, fmt.Errorf("live %s: round trip %d timed out", name, i)
+			}
 		}
+	}
+	if len(lat) < rtts/2 {
+		return liveResult{}, fmt.Errorf("live %s: only %d/%d round trips completed", name, len(lat), rtts)
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	p50 := lat[len(lat)/2]
 	p99 := lat[len(lat)*99/100]
 
-	// Throughput: blast one way (Query frames are counted at the receiver,
-	// not echoed), then wait until every message is either delivered or
-	// accounted for as a drop.
+	// Throughput: blast one way, then wait until every message is either
+	// delivered or accounted for as a drop — or, on lossy transports, until
+	// delivery settles (silent datagram loss moves no counter).
 	t0 := time.Now()
 	for i := 0; i < msgs; i++ {
 		a.Send("bench-b", wire.Query{App: "bench", User: "u", Right: wire.RightUse, Nonce: uint64(i)})
 	}
 	deadline := time.Now().Add(30 * time.Second)
+	end := time.Now()
 	var st netcore.TransportStats
+	var lastTotal uint64
 	for {
 		st = a.Stats()
-		if delivered.Load()+st.Drops >= uint64(msgs) {
+		total := delivered.Load() + st.Drops
+		if total > lastTotal {
+			lastTotal = total
+			end = time.Now()
+		}
+		if total >= uint64(msgs) {
+			end = time.Now()
 			break
 		}
+		if lossy && time.Since(end) > 500*time.Millisecond {
+			break // settled: the missing remainder was lost in flight
+		}
 		if time.Now().After(deadline) {
-			return liveResult{}, fmt.Errorf("live TCP: throughput run stalled (stats %+v)", st)
+			return liveResult{}, fmt.Errorf("live %s: throughput run stalled (stats %+v)", name, st)
 		}
 		time.Sleep(time.Millisecond)
 	}
-	elapsed := time.Since(t0)
+	elapsed := end.Sub(t0)
 	got := delivered.Load()
 	return liveResult{
-		Name:       "tcp_loopback",
-		RoundTrips: rtts,
+		Name:       name,
+		RoundTrips: len(lat),
 		RTTp50Us:   float64(p50.Nanoseconds()) / 1e3,
 		RTTp99Us:   float64(p99.Nanoseconds()) / 1e3,
 		Messages:   msgs,
@@ -404,7 +522,7 @@ func liveTCP(rtts, msgs int, rtt *telemetry.Histogram) (liveResult, error) {
 // echoHandler answers Heartbeats with a HeartbeatAck over the inbound
 // connection (latency leg) and tallies Query frames (throughput leg).
 type echoHandler struct {
-	node      *tcpnet.Node
+	node      liveNode
 	delivered *atomic.Uint64
 }
 

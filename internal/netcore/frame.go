@@ -20,17 +20,22 @@ import (
 // caller) instead of being written to a peer that would reject it.
 
 // EncodeFrame builds a datagram payload. It fails if the payload would
-// exceed maxFrame.
+// exceed maxFrame. The buffer is presized exactly from wire.Size, so the
+// encode never reallocates mid-append regardless of message size.
 func EncodeFrame(from wire.NodeID, msg wire.Message, maxFrame int) ([]byte, error) {
-	id := []byte(from)
-	buf := binary.AppendUvarint(make([]byte, 0, 1+len(id)+64), uint64(len(id)))
-	buf = append(buf, id...)
-	buf, err := wire.AppendMarshal(buf, msg)
+	size, err := wire.Size(msg)
 	if err != nil {
 		return nil, err
 	}
-	if len(buf) > maxFrame {
-		return nil, fmt.Errorf("netcore: frame too large (%d > %d bytes)", len(buf), maxFrame)
+	total := FrameOverhead(from) + size
+	if total > maxFrame {
+		return nil, fmt.Errorf("netcore: frame too large (%d > %d bytes)", total, maxFrame)
+	}
+	buf := binary.AppendUvarint(make([]byte, 0, total), uint64(len(from)))
+	buf = append(buf, from...)
+	buf, err = wire.AppendMarshal(buf, msg)
+	if err != nil {
+		return nil, err
 	}
 	return buf, nil
 }
@@ -50,21 +55,82 @@ func DecodeFrame(data []byte) (wire.NodeID, wire.Message, error) {
 }
 
 // EncodeStreamFrame builds a length-prefixed stream frame. It fails if the
-// payload would exceed maxFrame.
+// payload would exceed maxFrame. The buffer is presized exactly from
+// wire.Size, so the encode never reallocates mid-append.
 func EncodeStreamFrame(from wire.NodeID, msg wire.Message, maxFrame int) ([]byte, error) {
-	id := []byte(from)
-	buf := make([]byte, 4, 4+1+len(id)+64)
-	buf = binary.AppendUvarint(buf, uint64(len(id)))
-	buf = append(buf, id...)
-	buf, err := wire.AppendMarshal(buf, msg)
+	size, err := wire.Size(msg)
 	if err != nil {
 		return nil, err
 	}
-	if len(buf)-4 > maxFrame {
-		return nil, fmt.Errorf("netcore: frame too large (%d > %d bytes)", len(buf)-4, maxFrame)
+	payload := FrameOverhead(from) + size
+	if payload > maxFrame {
+		return nil, fmt.Errorf("netcore: frame too large (%d > %d bytes)", payload, maxFrame)
+	}
+	buf := make([]byte, 4, 4+payload)
+	buf = binary.AppendUvarint(buf, uint64(len(from)))
+	buf = append(buf, from...)
+	buf, err = wire.AppendMarshal(buf, msg)
+	if err != nil {
+		return nil, err
 	}
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
 	return buf, nil
+}
+
+// FrameOverhead returns the per-frame header cost for frames from id: the
+// uvarint-prefixed sender id every payload starts with. Transports use it
+// to pre-validate a message's encoded size against their frame limit
+// before queuing it un-encoded.
+func FrameOverhead(id wire.NodeID) int { return uvarintLen(uint64(len(id))) + len(id) }
+
+// PackedSize returns the bytes one payload of length n occupies inside a
+// packed datagram (uvarint length prefix plus the payload).
+func PackedSize(n int) int { return uvarintLen(uint64(n)) + n }
+
+// PackedMarker introduces a packed datagram: several uvarint-length-
+// prefixed payloads sharing one datagram (the UDP side of batched flushes).
+// A raw frame can never start with this byte, because a frame's first byte
+// is the uvarint length of the sender id and node ids are non-empty — so
+// receivers can tell the two layouts apart from the first byte alone.
+const PackedMarker byte = 0x00
+
+// SplitDatagram appends the payloads carried by one datagram to dst and
+// returns it. A datagram starting with PackedMarker is split into its
+// length-prefixed payloads; anything else is a single raw payload. The
+// returned slices alias data.
+func SplitDatagram(data []byte, dst [][]byte) ([][]byte, error) {
+	if len(data) == 0 {
+		return dst, errors.New("netcore: empty datagram")
+	}
+	if data[0] != PackedMarker {
+		return append(dst, data), nil
+	}
+	rest := data[1:]
+	for len(rest) > 0 {
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 || n == 0 || n > uint64(len(rest)-sz) {
+			return dst, errors.New("netcore: bad packed datagram")
+		}
+		dst = append(dst, rest[sz:sz+int(n)])
+		rest = rest[sz+int(n):]
+	}
+	return dst, nil
+}
+
+// Deliver dispatches msg to h, unwrapping transport-level wire.Batch frames
+// so handlers only ever see protocol messages. Both live transports route
+// inbound traffic through it.
+func Deliver(h Handler, from wire.NodeID, msg wire.Message) {
+	if b, ok := msg.(wire.Batch); ok {
+		for _, m := range b.Msgs {
+			if _, nested := m.(wire.Batch); nested {
+				continue // the decoder rejects nesting; belt and braces
+			}
+			h.HandleMessage(from, m)
+		}
+		return
+	}
+	h.HandleMessage(from, msg)
 }
 
 // ReadStreamFrame reads one length-prefixed frame, rejecting sizes outside

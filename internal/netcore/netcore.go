@@ -40,6 +40,28 @@ type Handler interface {
 // connection with an unbounded write.
 const DefaultMaxFrame = 1 << 20
 
+// DefaultMaxBatch bounds how many queued messages one writer flush
+// coalesces. 64 keeps a flush's wire.Batch frame small relative to MaxFrame
+// while amortizing the per-wakeup lock, deadline, and syscall across enough
+// messages to matter under load.
+const DefaultMaxBatch = 64
+
+// Framing tells the peer writer how to build frames itself, which is what
+// enables coalescing: messages enqueued un-encoded (Peer.EnqueueMessage)
+// are batched into wire.Batch frames at flush time, encoded directly into
+// the writer's reusable buffer. A transport sets Framing on its Config
+// before NewGroup; without it only pre-encoded Enqueue frames can be sent.
+type Framing struct {
+	// From is the local node id stamped on every outbound frame.
+	From wire.NodeID
+	// Stream prefixes each frame with a big-endian u32 payload length
+	// (tcpnet); false means raw datagram payloads (udpnet).
+	Stream bool
+	// Limit bounds one frame's payload. For datagram transports this is
+	// min(MaxFrame, MTU).
+	Limit int
+}
+
 // Config tunes a transport's outbound path. The zero value is usable:
 // withDefaults fills every field a deployment does not set.
 type Config struct {
@@ -65,6 +87,12 @@ type Config struct {
 	DrainTimeout time.Duration
 	// MaxFrame bounds frame size in both directions.
 	MaxFrame int
+	// MaxBatch bounds how many queued messages one writer flush coalesces
+	// (and therefore how many sub-messages one wire.Batch frame carries).
+	MaxBatch int
+	// Framing, when set by the transport, lets the writer goroutine encode
+	// and coalesce messages itself; see the Framing type.
+	Framing *Framing
 	// StatsInterval, when positive, publishes a TransportStats snapshot to
 	// StatsSink every interval (defaulting to the process log when no sink
 	// is set).
@@ -108,6 +136,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = DefaultMaxFrame
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
 	if c.Dialer == nil {
 		c.Dialer = net.DialTimeout
 	}
@@ -138,6 +169,10 @@ func WithDrainTimeout(d time.Duration) Option { return func(c *Config) { c.Drain
 
 // WithMaxFrame bounds frame size in both directions.
 func WithMaxFrame(n int) Option { return func(c *Config) { c.MaxFrame = n } }
+
+// WithMaxBatch bounds how many queued messages one writer flush coalesces
+// into a single wire write. 1 disables coalescing.
+func WithMaxBatch(n int) Option { return func(c *Config) { c.MaxBatch = n } }
 
 // WithStatsInterval publishes TransportStats snapshots every d.
 func WithStatsInterval(d time.Duration) Option { return func(c *Config) { c.StatsInterval = d } }
@@ -205,6 +240,30 @@ type Counters struct {
 	Reconnects atomic.Uint64
 	// BytesIn and BytesOut count frame bytes crossing the wire.
 	BytesIn, BytesOut atomic.Uint64
+	// BatchesOut counts coalesced writer flushes (each one wire write);
+	// BatchFramesSum the total frames those flushes carried, so the mean
+	// frames-per-flush is BatchFramesSum/BatchesOut.
+	BatchesOut, BatchFramesSum atomic.Uint64
+	// batchFrames are per-bucket counts of frames per flush (bounds
+	// BatchFrameBounds, last slot is overflow), feeding the
+	// netcore_batch_frames histogram.
+	batchFrames [len(BatchFrameBounds) + 1]atomic.Uint64
+}
+
+// BatchFrameBounds are the upper bounds of the frames-per-flush histogram
+// buckets exported as netcore_batch_frames.
+var BatchFrameBounds = [8]float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// observeBatch records one writer flush that put frames frames on the wire
+// with a single write.
+func (c *Counters) observeBatch(frames int) {
+	c.BatchesOut.Add(1)
+	c.BatchFramesSum.Add(uint64(frames))
+	i := 0
+	for i < len(BatchFrameBounds) && float64(frames) > BatchFrameBounds[i] {
+		i++
+	}
+	c.batchFrames[i].Add(1)
 }
 
 // TransportStats is a point-in-time snapshot of a transport's activity,
@@ -223,6 +282,13 @@ type TransportStats struct {
 	// BytesIn and BytesOut count frame bytes received and written.
 	BytesIn  uint64 `json:"bytes_in"`
 	BytesOut uint64 `json:"bytes_out"`
+	// BatchesOut counts coalesced writer flushes (one wire write each);
+	// BatchFramesSum the total frames those flushes carried.
+	BatchesOut     uint64 `json:"batches_out"`
+	BatchFramesSum uint64 `json:"batch_frames_sum"`
+	// BatchFrames are cumulative per-bucket counts of frames per flush; the
+	// bucket upper bounds are BatchFrameBounds plus a final overflow slot.
+	BatchFrames []uint64 `json:"batch_frames"`
 	// QueueDepth is the current total of frames queued across peers.
 	QueueDepth int `json:"queue_depth"`
 	// PeersUp, PeersConnecting, and PeersBackoff count peers by health
@@ -238,14 +304,21 @@ type TransportStats struct {
 
 // snapshot loads the counter half of a TransportStats.
 func (c *Counters) snapshot() TransportStats {
+	frames := make([]uint64, len(c.batchFrames))
+	for i := range c.batchFrames {
+		frames[i] = c.batchFrames[i].Load()
+	}
 	return TransportStats{
-		Sends:        c.Sends.Load(),
-		Drops:        c.Drops.Load(),
-		Dials:        c.Dials.Load(),
-		DialFailures: c.DialFailures.Load(),
-		Reconnects:   c.Reconnects.Load(),
-		BytesIn:      c.BytesIn.Load(),
-		BytesOut:     c.BytesOut.Load(),
+		Sends:          c.Sends.Load(),
+		Drops:          c.Drops.Load(),
+		Dials:          c.Dials.Load(),
+		DialFailures:   c.DialFailures.Load(),
+		Reconnects:     c.Reconnects.Load(),
+		BytesIn:        c.BytesIn.Load(),
+		BytesOut:       c.BytesOut.Load(),
+		BatchesOut:     c.BatchesOut.Load(),
+		BatchFramesSum: c.BatchFramesSum.Load(),
+		BatchFrames:    frames,
 	}
 }
 

@@ -3,6 +3,7 @@ package netcore
 import (
 	"bytes"
 	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -38,6 +39,19 @@ func (s *fakeSender) WriteFrame(f []byte) error {
 	}
 	s.frames = append(s.frames, append([]byte(nil), f...))
 	return nil
+}
+
+func (s *fakeSender) WriteBatch(frames net.Buffers) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failNext {
+		s.failNext = false
+		return 0, errors.New("fake write error")
+	}
+	for _, f := range frames {
+		s.frames = append(s.frames, append([]byte(nil), f...))
+	}
+	return len(frames), nil
 }
 
 func (s *fakeSender) Close() error {

@@ -1,19 +1,30 @@
 package netcore
 
 import (
+	"encoding/binary"
 	"math/rand/v2"
+	"net"
 	"sync"
 	"time"
 
 	"wanac/internal/wire"
 )
 
-// Sender is one transport-specific way to put a frame on the wire: a TCP
+// Sender is one transport-specific way to put frames on the wire: a TCP
 // connection with a write deadline, or a UDP socket bound to a peer
-// address. WriteFrame may block (bounded by the transport's deadlines); it
-// is only ever called from the peer's writer goroutine.
+// address. Writes may block (bounded by the transport's deadlines); both
+// methods are only ever called from the peer's writer goroutine.
+//
+// WriteBatch writes several frames with as few syscalls as the transport
+// allows (TCP: one writev under one deadline; UDP: payloads packed into
+// shared datagrams) and returns how many frames were written in full. It
+// may mutate the passed slice and its backing array — callers rebuild it
+// per attempt. On error, frames[:n] are on the wire and frames[n:] are not
+// (a trailing partially-written frame counts as not written; the failed
+// connection is discarded, so the partial bytes die with it).
 type Sender interface {
 	WriteFrame(frame []byte) error
+	WriteBatch(frames net.Buffers) (int, error)
 	Close() error
 }
 
@@ -23,10 +34,29 @@ type Sender interface {
 // reachable only through adopted inbound connections.
 type DialFunc func() (Sender, error)
 
+// queued is one outbound queue entry: either a pre-encoded frame (legacy
+// Enqueue path) or an un-encoded message the writer encodes — and coalesces
+// with its queue neighbors — at flush time (EnqueueMessage path).
+type queued struct {
+	frame []byte
+	msg   wire.Message
+}
+
+// piece is one wire frame produced by a flush: either a pre-encoded frame
+// or an (off, n) range of the writer's encode buffer (offsets, not
+// subslices, because the buffer may be reallocated by a later frame in the
+// same flush). msgs is how many protocol messages the piece carries, so a
+// dropped piece counts every coalesced message exactly once.
+type piece struct {
+	frame  []byte
+	off, n int
+	msgs   int
+}
+
 // Peer owns one remote node's outbound path: a bounded drop-oldest frame
 // queue, a dedicated writer goroutine that drains it, and the reconnect
-// state machine. Enqueue never blocks; all dialing, backoff waiting, and
-// socket writing happens on the writer goroutine.
+// state machine. Enqueue never blocks; all encoding, dialing, backoff
+// waiting, and socket writing happens on the writer goroutine.
 type Peer struct {
 	id  wire.NodeID
 	cfg Config
@@ -37,8 +67,20 @@ type Peer struct {
 	// done closes when the writer goroutine has exited.
 	done chan struct{}
 
+	// Writer-goroutine-owned scratch, reused across flushes so the steady
+	// state allocates nothing: the drained batch, the shared encode buffer,
+	// the per-flush frame list, the net.Buffers rebuilt per write attempt,
+	// the current coalescing run, and the pre-built uvarint(len(id)) ++ id
+	// prefix every frame starts with.
+	batch    []queued
+	fbuf     []byte
+	pieces   []piece
+	bufs     net.Buffers
+	mrun     []wire.Message
+	idPrefix []byte
+
 	mu    sync.Mutex
-	q     [][]byte // outbound frames; qhead indexes the oldest
+	q     []queued // outbound entries; qhead indexes the oldest
 	qhead int
 	dial  DialFunc
 	cur   Sender
@@ -66,6 +108,10 @@ func newPeer(id wire.NodeID, cfg Config, ctr *Counters, dial DialFunc) *Peer {
 		dial:  dial,
 		state: StateConnecting,
 	}
+	if f := cfg.Framing; f != nil {
+		p.idPrefix = binary.AppendUvarint(nil, uint64(len(f.From)))
+		p.idPrefix = append(p.idPrefix, f.From...)
+	}
 	go p.run()
 	return p
 }
@@ -82,9 +128,18 @@ func (p *Peer) notify(old, now State) {
 	}
 }
 
-// Enqueue queues a frame for the writer goroutine, dropping the oldest
-// queued frame when the queue is full. It never blocks.
-func (p *Peer) Enqueue(frame []byte) {
+// Enqueue queues a pre-encoded frame for the writer goroutine, dropping the
+// oldest queued entry when the queue is full. It never blocks.
+func (p *Peer) Enqueue(frame []byte) { p.enqueue(queued{frame: frame}) }
+
+// EnqueueMessage queues an un-encoded message. The writer goroutine encodes
+// it at flush time, coalescing it with other messages drained in the same
+// flush into a single wire.Batch frame — so the encode cost, the frame
+// header, and the write syscall are all off the caller's goroutine and
+// amortized across the batch. Requires cfg.Framing.
+func (p *Peer) EnqueueMessage(msg wire.Message) { p.enqueue(queued{msg: msg}) }
+
+func (p *Peer) enqueue(ent queued) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -92,7 +147,7 @@ func (p *Peer) Enqueue(frame []byte) {
 		return
 	}
 	if len(p.q)-p.qhead >= p.cfg.QueueDepth {
-		p.q[p.qhead] = nil
+		p.q[p.qhead] = queued{}
 		p.qhead++
 		p.ctr.Drops.Add(1)
 	}
@@ -103,7 +158,7 @@ func (p *Peer) Enqueue(frame []byte) {
 		p.q = p.q[:n]
 		p.qhead = 0
 	}
-	p.q = append(p.q, frame)
+	p.q = append(p.q, ent)
 	p.mu.Unlock()
 	p.nudge()
 }
@@ -231,16 +286,17 @@ func (p *Peer) nudge() {
 	}
 }
 
-// run is the writer goroutine: pop a frame (respecting backoff and drain
-// deadlines), deliver it (dialing as needed), repeat until closed.
+// run is the writer goroutine: drain every ready entry (respecting backoff
+// and drain deadlines), flush them as one coalesced write (dialing as
+// needed), repeat until closed.
 func (p *Peer) run() {
 	defer close(p.done)
 	for {
-		frame, ok := p.next()
+		batch, ok := p.nextBatch()
 		if !ok {
 			break
 		}
-		p.deliver(frame)
+		p.flush(batch)
 	}
 	p.mu.Lock()
 	dropped := len(p.q) - p.qhead
@@ -256,11 +312,16 @@ func (p *Peer) run() {
 	}
 }
 
-// next blocks until a frame is ready to deliver. While the peer is in
-// backoff with no live sender, queued frames wait (accumulating sends drop
-// oldest) until the backoff expires. Returns false when the peer is closed
-// and the queue is drained or the drain deadline passed.
-func (p *Peer) next() ([]byte, bool) {
+// nextBatch blocks until at least one entry is ready, then drains up to
+// cfg.MaxBatch entries into the writer-owned batch slice under one lock
+// acquisition. The drain is opportunistic — whatever is queued right now,
+// never waiting for more — so batching adds no latency: an idle peer still
+// sends a lone message immediately, and only under load (queue occupancy)
+// do flushes grow. While the peer is in backoff with no live sender,
+// queued entries wait (accumulating sends drop oldest) until the backoff
+// expires. Returns false when the peer is closed and the queue is drained
+// or the drain deadline passed.
+func (p *Peer) nextBatch() ([]queued, bool) {
 	for {
 		p.mu.Lock()
 		now := time.Now()
@@ -272,11 +333,21 @@ func (p *Peer) next() ([]byte, bool) {
 		var wait time.Duration = -1
 		if !empty {
 			if p.cur != nil || p.state != StateBackoff || !now.Before(p.backoffUntil) {
-				frame := p.q[p.qhead]
-				p.q[p.qhead] = nil
-				p.qhead++
+				n := len(p.q) - p.qhead
+				if n > p.cfg.MaxBatch {
+					n = p.cfg.MaxBatch
+				}
+				p.batch = append(p.batch[:0], p.q[p.qhead:p.qhead+n]...)
+				clear(p.q[p.qhead : p.qhead+n])
+				p.qhead += n
+				if p.qhead == len(p.q) {
+					// Full drain: rewind so the array is reused from the
+					// start instead of growing rightward forever.
+					p.q = p.q[:0]
+					p.qhead = 0
+				}
 				p.mu.Unlock()
-				return frame, true
+				return p.batch, true
 			}
 			wait = p.backoffUntil.Sub(now)
 		}
@@ -299,25 +370,181 @@ func (p *Peer) next() ([]byte, bool) {
 	}
 }
 
-// deliver writes one frame, establishing a connection if needed. A write
-// failure discards the connection and retries once on a fresh one; if no
-// connection can be established the frame is dropped (unreliable-network
-// semantics — the protocol's retries provide liveness).
-func (p *Peer) deliver(frame []byte) {
+// flush encodes the drained batch into frames and writes them all with one
+// Sender call, establishing a connection if needed. A write failure
+// discards the connection and retries the unwritten remainder once on a
+// fresh one; what still cannot be delivered is dropped, counting each
+// coalesced message exactly once (unreliable-network semantics — the
+// protocol's retries provide liveness). Frames the failed attempt did
+// write are never re-sent, so no frame is delivered twice on one
+// connection.
+func (p *Peer) flush(batch []queued) {
+	pieces := p.encodeBatch(batch)
+	if len(pieces) == 0 {
+		return
+	}
 	for attempt := 0; attempt < 2; attempt++ {
 		s := p.sender()
 		if s == nil {
-			p.ctr.Drops.Add(1)
+			break
+		}
+		var written int
+		var err error
+		if len(pieces) == 1 {
+			if err = s.WriteFrame(p.pieceBytes(pieces[0])); err == nil {
+				written = 1
+			}
+		} else {
+			written, err = s.WriteBatch(p.buffers(pieces))
+		}
+		if written > 0 {
+			var bytes uint64
+			for _, pc := range pieces[:written] {
+				bytes += uint64(pc.n)
+			}
+			p.ctr.BytesOut.Add(bytes)
+			p.ctr.observeBatch(written)
+			pieces = pieces[written:]
+		}
+		if err == nil {
 			return
 		}
-		if err := s.WriteFrame(frame); err != nil {
-			p.Discard(s)
+		p.Discard(s)
+		if len(pieces) == 0 {
+			return
+		}
+	}
+	var msgs uint64
+	for _, pc := range pieces {
+		msgs += uint64(pc.msgs)
+	}
+	p.ctr.Drops.Add(msgs)
+}
+
+// encodeBatch turns the drained entries into wire frames. Pre-encoded
+// frames pass through untouched. Runs of messages are partitioned by exact
+// wire.Size precomputation into groups that fit cfg.Framing.Limit, then
+// each group is encoded zero-copy into the writer's reusable buffer — one
+// message becomes a plain frame, two or more become a single wire.Batch
+// frame. Messages that cannot be sized or fit are dropped and counted here.
+func (p *Peer) encodeBatch(batch []queued) []piece {
+	pieces := p.pieces[:0]
+	fbuf := p.fbuf[:0]
+	f := p.cfg.Framing
+	i := 0
+	for i < len(batch) {
+		if batch[i].frame != nil {
+			fr := batch[i].frame
+			pieces = append(pieces, piece{frame: fr, n: len(fr), msgs: 1})
+			i++
 			continue
 		}
-		p.ctr.BytesOut.Add(uint64(len(frame)))
-		return
+		if f == nil {
+			// Message entries need framing metadata the transport did not
+			// provide; drop defensively (transports always set Framing).
+			p.ctr.Drops.Add(1)
+			i++
+			continue
+		}
+		// Collect the longest run of consecutive messages that fits one
+		// frame. A message that is already a wire.Batch travels alone — the
+		// codec (correctly) refuses nested batches.
+		run := p.runScratch()
+		sum := 0
+		for i < len(batch) && batch[i].frame == nil {
+			m := batch[i].msg
+			if _, isBatch := m.(wire.Batch); isBatch && len(run) > 0 {
+				break
+			}
+			sz, err := wire.Size(m)
+			if err != nil {
+				p.ctr.Drops.Add(1)
+				i++
+				continue
+			}
+			if len(p.idPrefix)+sz > f.Limit {
+				p.ctr.Drops.Add(1)
+				i++
+				continue
+			}
+			if n := len(run) + 1; n >= 2 {
+				if len(p.idPrefix)+1+uvarintLen(uint64(n))+sum+sz > f.Limit {
+					break
+				}
+			}
+			run = append(run, m)
+			sum += sz
+			i++
+			if _, isBatch := m.(wire.Batch); isBatch {
+				break
+			}
+		}
+		p.mrun = run
+		if len(run) == 0 {
+			continue
+		}
+		start := len(fbuf)
+		if f.Stream {
+			fbuf = append(fbuf, 0, 0, 0, 0)
+		}
+		pstart := len(fbuf)
+		fbuf = append(fbuf, p.idPrefix...)
+		var err error
+		if len(run) == 1 {
+			fbuf, err = wire.AppendMarshal(fbuf, run[0])
+		} else {
+			fbuf, err = wire.AppendBatch(fbuf, run)
+		}
+		if err != nil {
+			p.ctr.Drops.Add(uint64(len(run)))
+			fbuf = fbuf[:start]
+			continue
+		}
+		if f.Stream {
+			binary.BigEndian.PutUint32(fbuf[start:start+4], uint32(len(fbuf)-pstart))
+		}
+		pieces = append(pieces, piece{off: start, n: len(fbuf) - start, msgs: len(run)})
 	}
-	p.ctr.Drops.Add(1)
+	p.fbuf = fbuf
+	p.pieces = pieces
+	return pieces
+}
+
+// runScratch returns the reusable coalescing-run slice, emptied.
+func (p *Peer) runScratch() []wire.Message {
+	clear(p.mrun)
+	return p.mrun[:0]
+}
+
+// pieceBytes materializes a piece's frame bytes. Valid only until the next
+// encodeBatch call reuses the buffer.
+func (p *Peer) pieceBytes(pc piece) []byte {
+	if pc.frame != nil {
+		return pc.frame
+	}
+	return p.fbuf[pc.off : pc.off+pc.n]
+}
+
+// buffers rebuilds the net.Buffers for a write attempt. Rebuilt fresh each
+// time because Sender.WriteBatch consumes and mutates the slice it is
+// given.
+func (p *Peer) buffers(pieces []piece) net.Buffers {
+	bufs := p.bufs[:0]
+	for _, pc := range pieces {
+		bufs = append(bufs, p.pieceBytes(pc))
+	}
+	p.bufs = bufs
+	return bufs
+}
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // sender returns the current sender, dialing one if necessary. On dial

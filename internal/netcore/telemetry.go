@@ -60,4 +60,29 @@ func RegisterTransport(reg *telemetry.Registry, stats func() TransportStats) {
 				emit([]string{peer, state}, 1)
 			}
 		})
+	reg.CounterFunc("netcore_batches_out_total",
+		"Coalesced writer flushes (one wire write each).",
+		func() float64 { return float64(stats().BatchesOut) })
+	bounds := append([]float64(nil), BatchFrameBounds[:]...)
+	reg.HistogramFunc("netcore_batch_frames",
+		"Frames put on the wire per coalesced writer flush.", bounds,
+		func() telemetry.HistogramSnapshot {
+			st := stats()
+			counts := st.BatchFrames
+			if len(counts) != len(bounds)+1 {
+				// Defensive: a stats source that predates batching renders as
+				// an empty histogram instead of panicking the scrape.
+				counts = make([]uint64, len(bounds)+1)
+			}
+			var count uint64
+			for _, c := range counts {
+				count += c
+			}
+			return telemetry.HistogramSnapshot{
+				Upper:  bounds,
+				Counts: counts,
+				Count:  count,
+				Sum:    float64(st.BatchFramesSum),
+			}
+		})
 }

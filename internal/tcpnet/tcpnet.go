@@ -70,6 +70,13 @@ func ListenConfig(id wire.NodeID, addr string, cfg netcore.Config) (*Node, error
 		addrs:    make(map[wire.NodeID]string),
 		conns:    make(map[net.Conn]struct{}),
 	}
+	// Framing lets the peer writers encode (and coalesce) queued messages
+	// themselves: stream frames up to MaxFrame, stamped with our id.
+	limit := cfg.MaxFrame
+	if limit <= 0 {
+		limit = netcore.DefaultMaxFrame
+	}
+	cfg.Framing = &netcore.Framing{From: id, Stream: true, Limit: limit}
 	n.group = netcore.NewGroup(string(id), cfg)
 	n.cfg = n.group.Config()
 	n.wg.Add(1)
@@ -125,14 +132,18 @@ type timerHandle struct{ t *time.Timer }
 func (h timerHandle) Stop() bool { return h.t.Stop() }
 
 // Send implements core.Env: best-effort delivery to the named peer. The
-// frame is queued on the peer's writer goroutine and this call returns
-// immediately; unknown peers, oversized messages, and queue overflow drop
-// the message (unreliable network), counted in Stats.
+// message is queued un-encoded on the peer's writer goroutine — which
+// encodes it at flush time, coalescing it with other same-peer messages
+// into one frame and one socket write — and this call returns immediately.
+// Unknown peers, oversized messages, and queue overflow drop the message
+// (unreliable network), counted in Stats.
 func (n *Node) Send(to wire.NodeID, msg wire.Message) {
 	ctr := n.group.Counters()
 	ctr.Sends.Add(1)
-	frame, err := netcore.EncodeStreamFrame(n.id, msg, n.cfg.MaxFrame)
-	if err != nil {
+	// Pre-validate with the exact size so callers still see oversized and
+	// unmarshalable messages dropped at send time, not at flush time.
+	size, err := wire.Size(msg)
+	if err != nil || netcore.FrameOverhead(n.id)+size > n.cfg.MaxFrame {
 		ctr.Drops.Add(1)
 		return
 	}
@@ -141,7 +152,7 @@ func (n *Node) Send(to wire.NodeID, msg wire.Message) {
 		ctr.Drops.Add(1)
 		return
 	}
-	p.Enqueue(frame)
+	p.EnqueueMessage(msg)
 }
 
 // peer returns the netcore peer for id, creating it if the address book
@@ -205,6 +216,21 @@ func (s *connSender) WriteFrame(frame []byte) error {
 	}
 	_, err := s.conn.Write(frame)
 	return err
+}
+
+// WriteBatch writes every frame under one deadline with one writev-backed
+// net.Buffers write, so a coalesced flush costs one syscall regardless of
+// frame count. net.Buffers consumes fully-written entries from the slice,
+// so frames-written is the count that disappeared; a trailing partial
+// frame stays in the slice and counts as unwritten (the connection is
+// discarded on error, taking the partial bytes with it).
+func (s *connSender) WriteBatch(frames net.Buffers) (int, error) {
+	total := len(frames)
+	if s.timeout > 0 {
+		s.conn.SetWriteDeadline(time.Now().Add(s.timeout))
+	}
+	_, err := frames.WriteTo(s.conn)
+	return total - len(frames), err
 }
 
 func (s *connSender) Close() error { return s.conn.Close() }
@@ -272,7 +298,9 @@ func (n *Node) readLoop(c net.Conn, sender netcore.Sender, expect wire.NodeID) {
 		h := n.handler
 		n.mu.Unlock()
 		if h != nil {
-			h.HandleMessage(from, msg)
+			// Deliver unwraps coalesced wire.Batch frames so the handler
+			// only ever sees protocol messages, in send order.
+			netcore.Deliver(h, from, msg)
 		}
 	}
 }

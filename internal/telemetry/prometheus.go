@@ -50,6 +50,8 @@ func (f *family) gather() []sample {
 		for _, c := range f.children {
 			s := sample{values: c.values}
 			switch {
+			case c.histFn != nil:
+				s.hist = c.histFn()
 			case c.hist != nil:
 				s.hist = c.hist.Snapshot()
 			case c.fn != nil:

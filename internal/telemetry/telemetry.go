@@ -89,6 +89,7 @@ type child struct {
 	gauge  *Gauge
 	fn     func() float64 // func-backed counter or gauge
 	hist   *Histogram
+	histFn func() HistogramSnapshot // func-backed histogram
 }
 
 func validName(s string) bool {
@@ -478,6 +479,21 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 // HistogramVec returns (creating if needed) a labeled histogram family.
 func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) HistogramVec {
 	return HistogramVec{r.family(name, help, kindHistogram, labels, buckets)}
+}
+
+// HistogramFunc registers an unlabeled histogram whose full snapshot is
+// read from fn at exposition time. Use it to re-export bucketed counts a
+// subsystem already maintains with its own atomics (e.g. the transport's
+// frames-per-flush buckets) without double counting. fn must return a
+// snapshot whose Counts has len(Upper)+1 entries (per-bucket, last slot is
+// overflow); buckets should match the Upper bounds fn reports.
+// Re-registering replaces the function.
+func (r *Registry) HistogramFunc(name, help string, buckets []float64, fn func() HistogramSnapshot) {
+	f := r.family(name, help, kindHistogram, nil, buckets)
+	c := f.child(nil)
+	f.mu.Lock()
+	c.histFn = fn
+	f.mu.Unlock()
 }
 
 // Bucket helpers -------------------------------------------------------

@@ -15,6 +15,7 @@
 package udpnet
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -69,6 +70,12 @@ func ListenConfig(id wire.NodeID, addr string, cfg netcore.Config) (*Node, error
 	if err != nil {
 		return nil, fmt.Errorf("udpnet listen: %w", err)
 	}
+	// Deep kernel buffers ride out bursts: a coalesced flush can land dozens
+	// of packed datagrams faster than the read loop wakes, and the default
+	// socket buffer (often 208 KiB) overflows silently. Best effort — some
+	// platforms clamp the size, and the protocol tolerates the loss.
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(4 << 20)
 	n := &Node{
 		id:     id,
 		conn:   conn,
@@ -77,6 +84,16 @@ func ListenConfig(id wire.NodeID, addr string, cfg netcore.Config) (*Node, error
 		static: make(map[wire.NodeID]bool),
 		done:   make(chan struct{}),
 	}
+	// Framing lets the peer writers encode (and coalesce) queued messages
+	// themselves: raw datagram payloads bounded by min(MaxFrame, MTU).
+	limit := cfg.MaxFrame
+	if limit <= 0 {
+		limit = netcore.DefaultMaxFrame
+	}
+	if n.mtu < limit {
+		limit = n.mtu
+	}
+	cfg.Framing = &netcore.Framing{From: id, Stream: false, Limit: limit}
 	n.group = netcore.NewGroup(string(id), cfg)
 	go n.readLoop()
 	return n, nil
@@ -136,12 +153,11 @@ func (h timerHandle) Stop() bool { return h.t.Stop() }
 func (n *Node) Send(to wire.NodeID, msg wire.Message) {
 	ctr := n.group.Counters()
 	ctr.Sends.Add(1)
-	limit := n.group.Config().MaxFrame
-	if n.mtu < limit {
-		limit = n.mtu
-	}
-	frame, err := netcore.EncodeFrame(n.id, msg, limit)
-	if err != nil {
+	// Pre-validate with the exact size so callers still see oversized and
+	// unmarshalable messages dropped at send time; the writer goroutine
+	// encodes (and coalesces) at flush time.
+	size, err := wire.Size(msg)
+	if err != nil || netcore.FrameOverhead(n.id)+size > n.group.Config().Framing.Limit {
 		ctr.Drops.Add(1)
 		return
 	}
@@ -150,7 +166,7 @@ func (n *Node) Send(to wire.NodeID, msg wire.Message) {
 		ctr.Drops.Add(1) // node closed
 		return
 	}
-	p.Enqueue(frame)
+	p.EnqueueMessage(msg)
 }
 
 // dialFunc builds the netcore DialFunc for a peer: datagrams need no
@@ -172,10 +188,13 @@ func (n *Node) lookupAddr(id wire.NodeID) *net.UDPAddr {
 }
 
 // udpSender writes frames to the peer's current address, re-resolved from
-// the address book on every write so learned peers follow rebinds.
+// the address book on every write so learned peers follow rebinds. The
+// pack buffer is reused across WriteBatch calls; a sender belongs to one
+// peer's writer goroutine, so it needs no locking.
 type udpSender struct {
 	node *Node
 	id   wire.NodeID
+	pack []byte
 }
 
 func (s *udpSender) WriteFrame(frame []byte) error {
@@ -187,6 +206,51 @@ func (s *udpSender) WriteFrame(frame []byte) error {
 	return err
 }
 
+// WriteBatch packs consecutive payloads into shared datagrams up to the
+// MTU: a packed datagram is the PackedMarker byte followed by uvarint-
+// length-prefixed payloads, so a coalesced flush costs one sendto per MTU's
+// worth of frames instead of one per frame. A payload that would share
+// with nothing falls back to a raw single datagram (identical bytes to the
+// unbatched path). Datagrams are all-or-nothing, so the returned count is
+// exact on error.
+func (s *udpSender) WriteBatch(frames net.Buffers) (int, error) {
+	addr := s.node.lookupAddr(s.id)
+	if addr == nil {
+		return 0, errors.New("udpnet: peer address lost")
+	}
+	written := 0
+	for written < len(frames) {
+		group := 1
+		size := 1 + netcore.PackedSize(len(frames[written]))
+		for written+group < len(frames) {
+			next := size + netcore.PackedSize(len(frames[written+group]))
+			if next > s.node.mtu {
+				break
+			}
+			size = next
+			group++
+		}
+		if group == 1 {
+			if _, err := s.node.conn.WriteToUDP(frames[written], addr); err != nil {
+				return written, err
+			}
+			written++
+			continue
+		}
+		pack := append(s.pack[:0], netcore.PackedMarker)
+		for _, f := range frames[written : written+group] {
+			pack = binary.AppendUvarint(pack, uint64(len(f)))
+			pack = append(pack, f...)
+		}
+		s.pack = pack
+		if _, err := s.node.conn.WriteToUDP(pack, addr); err != nil {
+			return written, err
+		}
+		written += group
+	}
+	return written, nil
+}
+
 func (s *udpSender) Close() error { return nil }
 
 // readLoop dispatches inbound datagrams until the socket closes. The
@@ -196,6 +260,7 @@ func (s *udpSender) Close() error { return nil }
 func (n *Node) readLoop() {
 	defer close(n.done)
 	buf := make([]byte, 64<<10)
+	var parts [][]byte
 	ctr := n.group.Counters()
 	for {
 		size, src, err := n.conn.ReadFromUDP(buf)
@@ -203,37 +268,47 @@ func (n *Node) readLoop() {
 			return // socket closed
 		}
 		ctr.BytesIn.Add(uint64(size))
-		from, msg, err := netcore.DecodeFrame(buf[:size])
+		// A datagram is either one raw frame or — when the sender's writer
+		// coalesced a flush — several frames packed behind PackedMarker.
+		parts, err = netcore.SplitDatagram(buf[:size], parts[:0])
 		if err != nil {
 			continue // malformed datagram: drop
 		}
-		n.mu.Lock()
-		h := n.handler
-		learned := false
-		if !n.closed && !n.static[from] {
-			// For ids without a configured address, track the latest
-			// observed source so replies follow peers across rebinds
-			// (mobile hosts, restarted tools). Statically configured peers
-			// are never relearned, so a spoofed datagram cannot redirect
-			// manager traffic. Address learning is otherwise
-			// unauthenticated, like UDP itself; deployments needing sender
-			// authenticity must layer auth.Seal.
-			if old := n.peers[from]; old == nil || !old.IP.Equal(src.IP) || old.Port != src.Port {
-				cp := *src
-				n.peers[from] = &cp
-				learned = true
+		for _, part := range parts {
+			from, msg, err := netcore.DecodeFrame(part)
+			if err != nil {
+				continue // malformed frame: drop
 			}
-		}
-		n.mu.Unlock()
-		if learned {
-			// A fresh address makes the peer deliverable again; let its
-			// writer retry immediately instead of waiting out a backoff.
-			if p := n.group.Get(from); p != nil {
-				p.ClearBackoff()
+			n.mu.Lock()
+			h := n.handler
+			learned := false
+			if !n.closed && !n.static[from] {
+				// For ids without a configured address, track the latest
+				// observed source so replies follow peers across rebinds
+				// (mobile hosts, restarted tools). Statically configured peers
+				// are never relearned, so a spoofed datagram cannot redirect
+				// manager traffic. Address learning is otherwise
+				// unauthenticated, like UDP itself; deployments needing sender
+				// authenticity must layer auth.Seal.
+				if old := n.peers[from]; old == nil || !old.IP.Equal(src.IP) || old.Port != src.Port {
+					cp := *src
+					n.peers[from] = &cp
+					learned = true
+				}
 			}
-		}
-		if h != nil {
-			h.HandleMessage(from, msg)
+			n.mu.Unlock()
+			if learned {
+				// A fresh address makes the peer deliverable again; let its
+				// writer retry immediately instead of waiting out a backoff.
+				if p := n.group.Get(from); p != nil {
+					p.ClearBackoff()
+				}
+			}
+			if h != nil {
+				// Deliver unwraps coalesced wire.Batch frames so the handler
+				// only ever sees protocol messages, in send order.
+				netcore.Deliver(h, from, msg)
+			}
 		}
 	}
 }

@@ -35,6 +35,7 @@ const (
 	tagResolveResponse
 	tagSealed
 	tagGossip
+	tagBatch
 )
 
 // ErrTruncated reports a frame that ended before all fields were read.
@@ -42,6 +43,11 @@ var ErrTruncated = errors.New("wire: truncated frame")
 
 // ErrUnknownTag reports a frame whose type tag is not recognized.
 var ErrUnknownTag = errors.New("wire: unknown message tag")
+
+// ErrNestedBatch reports a Batch carrying another Batch. Batches are flat
+// by construction (the writer coalesces one queue drain); allowing nesting
+// would turn a 1 MiB frame into an exponential decode bomb.
+var ErrNestedBatch = errors.New("wire: nested batch")
 
 type encoder struct{ buf []byte }
 
@@ -302,8 +308,34 @@ func AppendMarshal(buf []byte, msg Message) ([]byte, error) {
 		e.string(string(m.User))
 		e.bytes(m.Frame)
 		e.bytes(m.Sig)
+	case Batch:
+		return AppendBatch(buf, m.Msgs)
 	default:
 		return buf, fmt.Errorf("wire: cannot marshal %T", msg)
+	}
+	return e.buf, nil
+}
+
+// AppendBatch encodes a Batch frame holding msgs, appending to buf. It is
+// equivalent to AppendMarshal(buf, Batch{Msgs: msgs}) but takes the slice
+// directly so the transport writer, which coalesces queued messages every
+// flush, does not box a fresh Batch value into the Message interface (an
+// allocation) per flush. Sub-messages are encoded inline, back to back —
+// each is self-delimiting, so no per-message length prefix is needed.
+// A sub-message that is itself a Batch fails with ErrNestedBatch.
+func AppendBatch(buf []byte, msgs []Message) ([]byte, error) {
+	e := &encoder{buf: buf}
+	e.byte(tagBatch)
+	e.uint(uint64(len(msgs)))
+	for _, sub := range msgs {
+		if _, ok := sub.(Batch); ok {
+			return buf, ErrNestedBatch
+		}
+		b, err := AppendMarshal(e.buf, sub)
+		if err != nil {
+			return buf, err
+		}
+		e.buf = b
 	}
 	return e.buf, nil
 }
@@ -315,6 +347,24 @@ func Unmarshal(data []byte) (Message, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
+	msg, err := decodeMessage(d, tag)
+	if err != nil {
+		return nil, err
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %s", len(d.buf), msg.Kind())
+	}
+	return msg, nil
+}
+
+// decodeMessage decodes the body of one message whose tag byte has already
+// been consumed. Sub-messages of a Batch decode through the same switch;
+// they are self-delimiting, so the decoder stops exactly at the next
+// sub-message's tag.
+func decodeMessage(d *decoder, tag byte) (Message, error) {
 	var msg Message
 	switch tag {
 	case tagQuery:
@@ -473,14 +523,32 @@ func Unmarshal(data []byte) (Message, error) {
 			Frame: d.bytes(),
 			Sig:   d.bytes(),
 		}
+	case tagBatch:
+		n := d.uint()
+		if n > uint64(len(d.buf)) { // each sub-message is at least one tag byte
+			return nil, ErrTruncated
+		}
+		b := Batch{}
+		if n > 0 {
+			b.Msgs = make([]Message, 0, n)
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			sub := d.byte()
+			if d.err != nil {
+				break
+			}
+			if sub == tagBatch {
+				return nil, ErrNestedBatch
+			}
+			m, err := decodeMessage(d, sub)
+			if err != nil {
+				return nil, err
+			}
+			b.Msgs = append(b.Msgs, m)
+		}
+		msg = b
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownTag, tag)
-	}
-	if d.err != nil {
-		return nil, d.err
-	}
-	if len(d.buf) != 0 {
-		return nil, fmt.Errorf("wire: %d trailing bytes after %s", len(d.buf), msg.Kind())
 	}
 	return msg, nil
 }

@@ -32,6 +32,7 @@ func init() {
 	gob.Register(ResolveResponse{})
 	gob.Register(Sealed{})
 	gob.Register(Gossip{})
+	gob.Register(Batch{})
 }
 
 // EncodeEnvelope serializes an envelope with gob.

@@ -49,6 +49,14 @@ func sampleMessages() []Message {
 			{Seq: UpdateSeq{Origin: "m2", Counter: 4}, Op: OpRevoke, App: "a", User: "v", Right: RightManage},
 		}},
 		Gossip{},
+		Batch{Msgs: []Message{
+			Query{App: "stocks", User: "alice", Right: RightUse, Nonce: 42, Trace: 41},
+			Response{App: "stocks", User: "alice", Right: RightUse, Nonce: 42, Granted: true, Trace: 41},
+			Update{Seq: UpdateSeq{Origin: "m2", Counter: 9}, Op: OpAdd, App: "news", User: "bob", Right: RightUse, Issued: issued},
+			Sealed{User: "alice", Frame: []byte{1, 2, 3}, Sig: []byte{9, 8}},
+		}},
+		Batch{Msgs: []Message{Heartbeat{Nonce: 1}}},
+		Batch{},
 	}
 }
 
@@ -121,6 +129,51 @@ func TestUnmarshalUnknownTag(t *testing.T) {
 	}
 	if _, err := Unmarshal(nil); !errors.Is(err, ErrTruncated) {
 		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestBatchRejectsNesting(t *testing.T) {
+	nested := Batch{Msgs: []Message{Batch{Msgs: []Message{Heartbeat{Nonce: 1}}}}}
+	if _, err := Marshal(nested); !errors.Is(err, ErrNestedBatch) {
+		t.Errorf("Marshal(nested batch) err = %v, want ErrNestedBatch", err)
+	}
+	if _, err := BatchSize(nested.Msgs); !errors.Is(err, ErrNestedBatch) {
+		t.Errorf("BatchSize(nested batch) err = %v, want ErrNestedBatch", err)
+	}
+	// Hand-craft the bytes a malicious peer would send: a batch whose single
+	// sub-message is itself a batch. The decoder must refuse it.
+	inner, err := Marshal(Batch{Msgs: []Message{Heartbeat{Nonce: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte{tagBatch, 1}, inner...)
+	if _, err := Unmarshal(raw); !errors.Is(err, ErrNestedBatch) {
+		t.Errorf("Unmarshal(nested batch bytes) err = %v, want ErrNestedBatch", err)
+	}
+}
+
+func TestAppendBatchMatchesMarshal(t *testing.T) {
+	msgs := []Message{
+		Query{App: "stocks", User: "alice", Right: RightUse, Nonce: 42},
+		Heartbeat{Nonce: 7},
+	}
+	direct, err := AppendBatch(nil, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxed, err := Marshal(Batch{Msgs: msgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, boxed) {
+		t.Errorf("AppendBatch bytes differ from Marshal(Batch):\n got  %v\n want %v", direct, boxed)
+	}
+	n, err := BatchSize(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(direct) {
+		t.Errorf("BatchSize = %d, want %d", n, len(direct))
 	}
 }
 
@@ -236,8 +289,8 @@ func TestKinds(t *testing.T) {
 		}
 		seen[k] = true
 	}
-	if len(seen) != 18 {
-		t.Errorf("expected 18 distinct kinds, got %d", len(seen))
+	if len(seen) != 19 {
+		t.Errorf("expected 19 distinct kinds, got %d", len(seen))
 	}
 }
 

@@ -82,9 +82,30 @@ func Size(msg Message) (int, error) {
 	case Sealed:
 		return 1 + stringSize(string(m.User)) + bytesSize(m.Frame) +
 			bytesSize(m.Sig), nil
+	case Batch:
+		return BatchSize(m.Msgs)
 	default:
 		return 0, fmt.Errorf("wire: cannot size %T", msg)
 	}
+}
+
+// BatchSize returns the exact frame length of a Batch holding msgs, without
+// boxing a Batch value (see AppendBatch). The transport writer uses it to
+// partition a queue drain into frames that fit the transport's limit before
+// encoding anything.
+func BatchSize(msgs []Message) (int, error) {
+	n := 1 + uvarintSize(uint64(len(msgs)))
+	for _, sub := range msgs {
+		if _, ok := sub.(Batch); ok {
+			return 0, ErrNestedBatch
+		}
+		sn, err := Size(sub)
+		if err != nil {
+			return 0, err
+		}
+		n += sn
+	}
+	return n, nil
 }
 
 // updateSize is the body of an Update (shared with the embedded op lists of

@@ -319,6 +319,20 @@ type Gossip struct {
 // Kind implements Message.
 func (Gossip) Kind() string { return "gossip" }
 
+// Batch carries multiple protocol messages to the same destination in one
+// frame. The transport writer coalesces same-peer messages queued in the
+// same flush into a Batch so a quorum fan-out pays one frame header, one
+// sender id, and one socket write instead of one per message; receivers
+// unwrap it and dispatch the inner messages in order. Batches never nest.
+// Batch is a transport optimization with no protocol meaning: protocol
+// nodes neither send nor receive it directly.
+type Batch struct {
+	Msgs []Message
+}
+
+// Kind implements Message.
+func (Batch) Kind() string { return "batch" }
+
 // Sealed wraps an authenticated message: Frame is the binary encoding of
 // the inner message (wire.Marshal) and Sig is the sender's signature over
 // it. The access-control layer requires user-originated traffic (Invoke,

@@ -6,6 +6,11 @@
 # attributed to an exact commit is worse than none, because the next
 # regression hunt will trust numbers that never matched the code.
 #
+# The previous BENCH.json (the last recorded commit's numbers) is passed to
+# acbench as the baseline, so every run ends with a before/after table of
+# the live transport throughput and tail latency — the numbers a transport
+# change is judged by.
+#
 # Usage: scripts/bench.sh [acbench flags...]   (e.g. -trials 5000)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,4 +22,11 @@ if [ -n "$(git status --porcelain)" ]; then
 fi
 
 commit="$(git rev-parse --short HEAD)"
-go run ./cmd/acbench -out cmd/acbench/BENCH.json -commit "$commit" "$@"
+baseline_args=()
+if [ -f cmd/acbench/BENCH.json ]; then
+    before="$(mktemp)"
+    trap 'rm -f "$before"' EXIT
+    cp cmd/acbench/BENCH.json "$before"
+    baseline_args=(-baseline "$before")
+fi
+go run ./cmd/acbench -out cmd/acbench/BENCH.json -commit "$commit" "${baseline_args[@]}" "$@"

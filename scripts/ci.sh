@@ -24,6 +24,15 @@ echo "== transport churn (race, repeated)"
 # races a single pass can miss.
 go test -race -count=2 ./internal/netcore ./internal/tcpnet ./internal/udpnet
 
+echo "== batched wire protocol (race, repeated)"
+# The coalescing writer is the hot path every live deployment shares. Rerun
+# the batching suite under race: flush coalescing into wire.Batch frames,
+# frame-limit splits, queue-prefix compaction, drain-deadline accounting,
+# the partial-write fault-injection tests (mid-batch failure must retry once
+# on a fresh connection or count each message dropped exactly once), the
+# zero-alloc steady-state budget, and the wire.Batch codec round trips.
+go test -race -count=2 -run 'Batch|Partial|Coalesce|Split|Deliver|Compacts|DrainDeadline|Presized' ./internal/netcore ./internal/wire
+
 echo "== telemetry (race, repeated)"
 # The metrics registry is hammered by every node's hot path while scrapers
 # read it; rerun its suite to shake out ordering-dependent races.

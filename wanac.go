@@ -183,6 +183,13 @@ type (
 // overflow drops the oldest frame.
 func WithQueueDepth(n int) TransportOption { return netcore.WithQueueDepth(n) }
 
+// WithMaxBatch bounds how many queued messages one writer flush coalesces
+// into a single wire write (default 64). Batching is opportunistic — a
+// flush takes whatever is queued at that instant and never waits for more,
+// so it adds no latency; under load, same-peer messages share one frame
+// header and one write syscall. 1 disables coalescing.
+func WithMaxBatch(n int) TransportOption { return netcore.WithMaxBatch(n) }
+
 // WithBackoff sets the reconnect backoff range: delays double from min to
 // max with jitter (defaults 50ms to 3s).
 func WithBackoff(min, max time.Duration) TransportOption { return netcore.WithBackoff(min, max) }
