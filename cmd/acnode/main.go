@@ -253,7 +253,7 @@ func startNode(cfg nodeConfig) (*runtime, error) {
 	}
 	rec := flight.NewRecorder(cfg.id, cfg.flightRing, nil)
 
-	var opts []wanac.TransportOption
+	var opts []wanac.Option
 	if cfg.statsEvery > 0 {
 		opts = append(opts, wanac.WithStatsInterval(cfg.statsEvery))
 	}

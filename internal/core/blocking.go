@@ -42,14 +42,6 @@ func (h *Host) CheckContext(ctx context.Context, app wire.AppID, user wire.UserI
 	}
 }
 
-// CheckWait performs an access check and blocks until the decision is
-// available or ctx is done.
-//
-// Deprecated: use CheckContext, which this delegates to.
-func (h *Host) CheckWait(ctx context.Context, app wire.AppID, user wire.UserID, right wire.Right) (Decision, error) {
-	return h.CheckContext(ctx, app, user, right)
-}
-
 // SubmitWait issues an access-control operation and blocks until the update
 // quorum is reached (the paper's blocking Add/Revoke semantics: the Te
 // guarantee is active when the call returns) or ctx is done.

@@ -9,9 +9,9 @@ import (
 	"wanac/internal/wire"
 )
 
-func TestCheckWaitImmediateDeny(t *testing.T) {
+func TestCheckContextImmediateDeny(t *testing.T) {
 	h := NewHost("h0", newFakeEnv(), nil, nil)
-	d, err := h.CheckWait(context.Background(), "ghost", "u", wire.RightUse)
+	d, err := h.CheckContext(context.Background(), "ghost", "u", wire.RightUse)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +20,7 @@ func TestCheckWaitImmediateDeny(t *testing.T) {
 	}
 }
 
-func TestCheckWaitCacheHit(t *testing.T) {
+func TestCheckContextCacheHit(t *testing.T) {
 	env := newFakeEnv()
 	h := NewHost("h0", env, nil, nil)
 	if err := h.RegisterApp("a", HostAppConfig{
@@ -34,28 +34,12 @@ func TestCheckWaitCacheHit(t *testing.T) {
 	nonce := env.lastQueryNonce(t)
 	h.HandleMessage("m0", wire.Response{App: "a", User: "u", Right: wire.RightUse, Nonce: nonce, Granted: true})
 
-	d, err := h.CheckWait(context.Background(), "a", "u", wire.RightUse)
+	d, err := h.CheckContext(context.Background(), "a", "u", wire.RightUse)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !d.Allowed || !d.CacheHit {
 		t.Errorf("decision = %+v", d)
-	}
-}
-
-func TestCheckWaitCanceled(t *testing.T) {
-	env := newFakeEnv()
-	h := NewHost("h0", env, nil, nil)
-	if err := h.RegisterApp("a", HostAppConfig{
-		Managers: []wire.NodeID{"m0"},
-		Policy:   Policy{CheckQuorum: 1, QueryTimeout: time.Hour},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	if _, err := h.CheckWait(ctx, "a", "u", wire.RightUse); !errors.Is(err, ErrCanceled) {
-		t.Errorf("err = %v, want ErrCanceled", err)
 	}
 }
 

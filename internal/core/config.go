@@ -160,6 +160,87 @@ type ManagerAppConfig struct {
 	HeartbeatEvery time.Duration
 	// SyncRetry is the recovering manager's sync request interval.
 	SyncRetry time.Duration
+	// Overload configures admission control: token-bucket rate limits on
+	// query traffic and the adaptive-Te controller. The zero value disables
+	// all of it (every query is admitted, Te is static).
+	Overload OverloadConfig
+}
+
+// RateLimitConfig bounds query admission at a manager with token buckets.
+// Rates are tokens (queries) per second; bursts are bucket capacities. A
+// zero rate disables that bucket.
+type RateLimitConfig struct {
+	// AppRPS and AppBurst bound the application's aggregate query rate
+	// across all hosts.
+	AppRPS   float64
+	AppBurst float64
+	// HostRPS and HostBurst bound each individual source host, so one
+	// aggressive host cannot consume the whole application budget.
+	HostRPS   float64
+	HostBurst float64
+}
+
+func (r RateLimitConfig) enabled() bool { return r.AppRPS > 0 || r.HostRPS > 0 }
+
+// AdaptiveTeConfig widens the effective revocation bound Te under sustained
+// query overload: longer grants mean longer cache residency on hosts, which
+// directly cuts re-verification traffic — the paper's O(C/Te) overhead knob
+// (§4.1) turned automatically. The widened bound never exceeds Max, so
+// deployments state their worst-case revocation latency up front; when the
+// shedding stops, Te decays back to the configured base.
+type AdaptiveTeConfig struct {
+	// Max caps the effective Te. Zero disables the controller. Must be at
+	// least the configured Te.
+	Max time.Duration
+	// Step is the multiplicative widen/decay factor per interval (> 1).
+	// Zero means 2.
+	Step float64
+	// Interval is the controller's evaluation period. Zero means 1s.
+	Interval time.Duration
+	// ShedThreshold is the number of shed queries per interval that
+	// triggers widening. Zero means 1 (any shedding widens).
+	ShedThreshold uint64
+}
+
+// DefaultMaxRetryAfter clamps the Retry-After advertised in Busy replies so
+// a miscomputed refill wait cannot park hosts for hours.
+const DefaultMaxRetryAfter = 5 * time.Second
+
+// OverloadConfig is a manager's complete overload-protection configuration.
+type OverloadConfig struct {
+	// RateLimit bounds query admission; queries over budget are answered
+	// with wire.Busy instead of being served.
+	RateLimit RateLimitConfig
+	// AdaptiveTe widens the effective Te while the rate limiter is
+	// shedding.
+	AdaptiveTe AdaptiveTeConfig
+	// MaxRetryAfter clamps the Retry-After carried in Busy replies. Zero
+	// means DefaultMaxRetryAfter.
+	MaxRetryAfter time.Duration
+}
+
+func (o OverloadConfig) validate() error {
+	r := o.RateLimit
+	if r.AppRPS < 0 || r.AppBurst < 0 || r.HostRPS < 0 || r.HostBurst < 0 {
+		return fmt.Errorf("%w: negative rate limit", ErrConfig)
+	}
+	if r.AppRPS > 0 && r.AppBurst < 1 {
+		return fmt.Errorf("%w: app rate limit needs burst >= 1", ErrConfig)
+	}
+	if r.HostRPS > 0 && r.HostBurst < 1 {
+		return fmt.Errorf("%w: host rate limit needs burst >= 1", ErrConfig)
+	}
+	a := o.AdaptiveTe
+	if a.Max < 0 || a.Interval < 0 || a.Step < 0 {
+		return fmt.Errorf("%w: negative adaptive-Te parameter", ErrConfig)
+	}
+	if a.Step != 0 && a.Step <= 1 {
+		return fmt.Errorf("%w: adaptive-Te step must exceed 1", ErrConfig)
+	}
+	if o.MaxRetryAfter < 0 {
+		return fmt.Errorf("%w: negative MaxRetryAfter", ErrConfig)
+	}
+	return nil
 }
 
 func (c ManagerAppConfig) withDefaults() ManagerAppConfig {
@@ -206,6 +287,17 @@ func (c ManagerAppConfig) validate(self wire.NodeID) error {
 		// te is derived as (Te-Ti)*b, so Ti must leave room for a positive
 		// expiration period (§3.3 requires Ti + te <= Te).
 		return fmt.Errorf("%w: Ti(%v) must be smaller than Te(%v)", ErrConfig, c.FreezeTi, c.Te)
+	}
+	if err := c.Overload.validate(); err != nil {
+		return err
+	}
+	if max := c.Overload.AdaptiveTe.Max; max > 0 {
+		if c.Te == 0 {
+			return fmt.Errorf("%w: adaptive Te requires a base Te", ErrConfig)
+		}
+		if max < c.Te {
+			return fmt.Errorf("%w: adaptive-Te Max (%v) below base Te (%v)", ErrConfig, max, c.Te)
+		}
 	}
 	return nil
 }

@@ -78,6 +78,12 @@ type hostApp struct {
 	resolveNonce uint64
 	resolveTimer TimerHandle
 	waiting      []*check
+	// busyUntil is the end of the app's admission backoff window: after a
+	// manager sheds a query with Busy, new rounds for the app are deferred
+	// until this instant so the host stops feeding an overloaded manager
+	// set. Checks arriving inside the window park on a timer instead of
+	// querying.
+	busyUntil time.Time
 }
 
 type checkKey struct {
@@ -259,11 +265,108 @@ func (h *Host) checkLocked(app wire.AppID, user wire.UserID, right wire.Right, c
 	h.byKey[key] = c
 
 	if h.managersUsable(a, now) {
+		if now.Before(a.busyUntil) {
+			// Inside the app's admission backoff window: park the round
+			// until the managers asked to be tried again.
+			h.deferCheck(a, c, a.busyUntil.Sub(now))
+			return
+		}
 		h.startRound(a, c)
 		return
 	}
 	a.waiting = append(a.waiting, c)
 	h.resolveManagers(a, app)
+}
+
+// deferCheck parks a round-less check for delay, then resumes it with a
+// fresh query round if it is still the live check for its key. The check
+// stays in byKey (so concurrent Checks keep coalescing onto it) but not in
+// pending (no round is in flight). The timer guard is the pair
+// (byKey identity, nonce): finished checks leave byKey, and a recycled
+// struct reused for the same key carries a later nonce — nonces are never
+// reused — so a stale timer can never restart a foreign check.
+func (h *Host) deferCheck(a *hostApp, c *check, delay time.Duration) {
+	h.stats.Backoffs++
+	if h.tel != nil {
+		h.tel.backoffs.Inc()
+	}
+	if h.tracing {
+		h.emitT(trace.EventCheckBackoff, c.key.app, c.key.user, c.trace,
+			"delay="+delay.String())
+	}
+	key, nonce := c.key, c.nonce
+	c.timer = h.env.SetTimer(delay, func() {
+		h.withLock(func() {
+			cur, ok := h.byKey[key]
+			if !ok || cur != c || c.nonce != nonce {
+				return
+			}
+			a, ok := h.apps[key.app]
+			if !ok {
+				h.finish(c, Decision{})
+				return
+			}
+			h.startRound(a, c)
+		})
+	})
+}
+
+// backoffJitter maps seed to a deterministic delay in [d/2, d): hosts that
+// received the same Retry-After spread their retries across half the window
+// instead of stampeding the manager at the same instant. Deterministic (a
+// hash of the seed, not a PRNG) so simulation runs stay reproducible.
+func backoffJitter(seed uint64, d time.Duration) time.Duration {
+	z := seed + 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z>>11) / (1 << 53) // [0, 1)
+	return d/2 + time.Duration(frac*float64(d)/2)
+}
+
+// onBusy handles a manager's load-shed reply: cancel the current round and
+// retry after a jittered fraction of the advertised Retry-After, extending
+// the app's busy window so new checks defer instead of piling on.
+func (h *Host) onBusy(from wire.NodeID, m wire.Busy) {
+	c, ok := h.pending[m.Nonce]
+	if !ok || c.key.app != m.App {
+		return
+	}
+	a, ok := h.apps[c.key.app]
+	if !ok || !a.isManager(from) {
+		return
+	}
+	h.stats.BusyReplies++
+	if h.tel != nil {
+		h.tel.busyReplies.Inc()
+	}
+	retry := m.RetryAfter
+	if retry <= 0 {
+		retry = a.policy.QueryTimeout
+	}
+	const maxHostBackoff = 30 * time.Second // defensive: a garbled Retry-After must not park the app
+	if retry > maxHostBackoff {
+		retry = maxHostBackoff
+	}
+	delay := backoffJitter(m.Nonce, retry)
+	now := h.env.Now()
+	if until := now.Add(delay); until.After(a.busyUntil) {
+		a.busyUntil = until
+	}
+	// Cancel the in-flight round: stop its timeout, forget its nonce. The
+	// backoff retry does not consume one of the policy's R attempts — the
+	// manager explicitly asked to be tried later, which is not a failure of
+	// reachability (Figure 4's R counts unanswered rounds).
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	delete(h.pending, c.nonce)
+	if c.attempts > 0 {
+		c.attempts--
+	}
+	h.deferCheck(a, c, delay)
 }
 
 // newCheck takes a check struct from the free list (retaining its cleared
@@ -452,6 +555,8 @@ func (h *Host) HandleMessage(from wire.NodeID, msg wire.Message) {
 		switch m := msg.(type) {
 		case wire.Response:
 			h.onResponse(from, m)
+		case wire.Busy:
+			h.onBusy(from, m)
 		case wire.RevokeNotice:
 			h.onRevokeNotice(from, m)
 		case wire.Invoke:
@@ -778,7 +883,10 @@ func (h *Host) Reset() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.cache.Clear()
-	for _, c := range h.pending {
+	// byKey is the superset of live checks: every pending check is in it,
+	// and so are busy-deferred checks whose round was cancelled (they hold
+	// a backoff timer but no pending entry).
+	for _, c := range h.byKey {
 		if c.timer != nil {
 			c.timer.Stop()
 		}
@@ -789,6 +897,7 @@ func (h *Host) Reset() {
 		a.waiting = nil
 		a.resolving = false
 		a.rr = 0
+		a.busyUntil = time.Time{}
 		if a.resolveTimer != nil {
 			a.resolveTimer.Stop()
 		}

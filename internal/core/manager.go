@@ -9,6 +9,7 @@ import (
 
 	"wanac/internal/acl"
 	"wanac/internal/auth"
+	"wanac/internal/ratelimit"
 	"wanac/internal/trace"
 	"wanac/internal/wire"
 )
@@ -69,6 +70,15 @@ type mgrApp struct {
 	// Recovery state.
 	syncing   bool
 	syncTimer TimerHandle
+	// Overload-protection state (nil buckets: that limit disabled).
+	appBucket   *ratelimit.Bucket
+	hostBuckets *ratelimit.Keyed
+	// effTe is the adaptive controller's current effective Te; it tracks
+	// cfg.Te when the controller is off or idle and widens (never past
+	// Overload.AdaptiveTe.Max) while queries are being shed.
+	effTe      time.Duration
+	shedWindow uint64 // sheds in the current controller interval
+	adaptTimer TimerHandle
 }
 
 type grantKey struct {
@@ -163,7 +173,9 @@ func (m *Manager) AddApp(app wire.AppID, cfg ManagerAppConfig) error {
 		grants:   make(map[grantKey]map[wire.NodeID]time.Time),
 		lastOp:   make(map[grantKey]wire.Update),
 		lastSeen: make(map[wire.NodeID]time.Time),
+		effTe:    cfg.Te,
 	}
+	ma.resetOverload()
 	now := m.env.Now()
 	for _, p := range peers {
 		ma.lastSeen[p] = now // optimistic: everyone reachable at start
@@ -172,7 +184,25 @@ func (m *Manager) AddApp(app wire.AppID, cfg ManagerAppConfig) error {
 	if cfg.FreezeTi > 0 && len(peers) > 0 {
 		m.scheduleHeartbeat(app, ma)
 	}
+	if cfg.Overload.AdaptiveTe.Max > 0 {
+		m.scheduleAdapt(app, ma)
+	}
 	return nil
+}
+
+// resetOverload (re)builds the app's admission buckets and returns the
+// effective Te to its base, for AddApp and the between-trials resets.
+func (ma *mgrApp) resetOverload() {
+	rl := ma.cfg.Overload.RateLimit
+	ma.appBucket, ma.hostBuckets = nil, nil
+	if rl.AppRPS > 0 {
+		ma.appBucket = ratelimit.NewBucket(rl.AppRPS, rl.AppBurst)
+	}
+	if rl.HostRPS > 0 {
+		ma.hostBuckets = ratelimit.NewKeyed(rl.HostRPS, rl.HostBurst, 0)
+	}
+	ma.effTe = ma.cfg.Te
+	ma.shedWindow = 0
 }
 
 // Seed grants a right directly in the local store without dissemination.
@@ -209,13 +239,28 @@ func (ma *mgrApp) updateQuorum() int { return ma.m - ma.cfg.CheckQuorum + 1 }
 // bound b (§3.2). Under the freeze strategy the budget Te is split between
 // the inaccessibility period Ti and the host-side expiration, so te is
 // derived from Te-Ti ("Ti and te must be chosen so that their sum is at
-// most Te", §3.3). Zero means grants do not expire (basic protocol).
+// most Te", §3.3). Zero means grants do not expire (basic protocol). The
+// adaptive controller substitutes its widened effective Te (bounded by
+// AdaptiveTe.Max) for the configured base under sustained overload.
 func (ma *mgrApp) te() time.Duration {
-	if ma.cfg.Te == 0 {
+	eff := ma.cfg.Te
+	if ma.effTe > eff {
+		eff = ma.effTe
+	}
+	if eff == 0 {
 		return 0
 	}
-	budget := ma.cfg.Te - ma.cfg.FreezeTi
+	budget := eff - ma.cfg.FreezeTi
 	return time.Duration(float64(budget) * ma.cfg.ClockBound)
+}
+
+// effectiveTe is the controller's current revocation bound (cfg.Te when the
+// controller is off or idle), exported through ManagerStats.
+func (ma *mgrApp) effectiveTe() time.Duration {
+	if ma.effTe > ma.cfg.Te {
+		return ma.effTe
+	}
+	return ma.cfg.Te
 }
 
 // Submit issues an access-control operation locally (the Manager component
@@ -581,6 +626,10 @@ func (m *Manager) onQuery(from wire.NodeID, q wire.Query) {
 		})
 		return
 	}
+	if !m.admitQuery(ma, from) {
+		m.shedQuery(ma, from, q)
+		return
+	}
 	m.stats.QueriesServed++
 	granted := m.store.Has(q.App, q.User, q.Right)
 	if m.tel != nil {
@@ -620,6 +669,118 @@ func (m *Manager) onQuery(from wire.NodeID, q wire.Query) {
 		hosts[from] = deadline
 	}
 	m.env.Send(from, resp)
+}
+
+// admitQuery runs the token buckets: the per-host bucket first (fairness —
+// one aggressive host exhausts only its own budget), then the aggregate
+// application bucket.
+func (m *Manager) admitQuery(ma *mgrApp, from wire.NodeID) bool {
+	if ma.appBucket == nil && ma.hostBuckets == nil {
+		return true
+	}
+	now := m.env.Now()
+	if ma.hostBuckets != nil && !ma.hostBuckets.Allow(string(from), now) {
+		return false
+	}
+	if ma.appBucket != nil && !ma.appBucket.Allow(now) {
+		return false
+	}
+	return true
+}
+
+// shedQuery answers an over-budget query with a Busy reply carrying a
+// clamped Retry-After, instead of serving it.
+func (m *Manager) shedQuery(ma *mgrApp, from wire.NodeID, q wire.Query) {
+	m.stats.QueriesShed++
+	ma.shedWindow++
+	if m.tel != nil {
+		m.tel.queriesShed.Inc()
+		if m.tel.spanning() {
+			m.querySpan(from, q, "shed")
+		}
+	}
+	now := m.env.Now()
+	var retry time.Duration
+	if ma.hostBuckets != nil {
+		retry = ma.hostBuckets.RetryAfter(string(from), now)
+	}
+	if ma.appBucket != nil {
+		if r := ma.appBucket.RetryAfter(now); r > retry {
+			retry = r
+		}
+	}
+	maxRetry := ma.cfg.Overload.MaxRetryAfter
+	if maxRetry <= 0 {
+		maxRetry = DefaultMaxRetryAfter
+	}
+	if retry > maxRetry {
+		retry = maxRetry
+	}
+	if m.tracing {
+		m.tracer.Emit(trace.Event{
+			Time: now, Node: m.id, Type: trace.EventQueryShed,
+			App: q.App, User: q.User, Trace: q.Trace,
+			Note: "host=" + string(from) + " retry=" + retry.String(),
+		})
+	}
+	m.env.Send(from, wire.Busy{App: q.App, Nonce: q.Nonce, RetryAfter: retry, Trace: q.Trace})
+}
+
+// scheduleAdapt arms the adaptive-Te controller tick for one app.
+func (m *Manager) scheduleAdapt(app wire.AppID, ma *mgrApp) {
+	interval := ma.cfg.Overload.AdaptiveTe.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ma.adaptTimer = m.env.SetTimer(interval, func() {
+		m.withLock(func() { m.onAdaptTick(app) })
+	})
+}
+
+// onAdaptTick evaluates one controller interval: shedding at or above the
+// threshold widens the effective Te by Step (capped at Max); a quiet
+// interval decays it by Step back toward the configured base. Widening
+// stretches grant expiry — hosts re-verify less often, which sheds load at
+// the source — while Max keeps the worst-case revocation latency stated.
+func (m *Manager) onAdaptTick(app wire.AppID) {
+	ma, ok := m.apps[app]
+	if !ok {
+		return
+	}
+	cfg := ma.cfg.Overload.AdaptiveTe
+	step := cfg.Step
+	if step == 0 {
+		step = 2
+	}
+	threshold := cfg.ShedThreshold
+	if threshold == 0 {
+		threshold = 1
+	}
+	prev := ma.effTe
+	if ma.shedWindow >= threshold {
+		next := time.Duration(float64(ma.effTe) * step)
+		if next > cfg.Max {
+			next = cfg.Max
+		}
+		ma.effTe = next
+	} else if ma.effTe > ma.cfg.Te {
+		next := time.Duration(float64(ma.effTe) / step)
+		if next < ma.cfg.Te {
+			next = ma.cfg.Te
+		}
+		ma.effTe = next
+	}
+	if ma.effTe != prev {
+		if ma.effTe > prev {
+			m.stats.TeWidenings++
+			if m.tel != nil {
+				m.tel.teWidenings.Inc()
+			}
+		}
+		m.emit(trace.EventTeAdapted, app, "", "te="+ma.effTe.String())
+	}
+	ma.shedWindow = 0
+	m.scheduleAdapt(app, ma)
 }
 
 // onUpdate applies peer updates in per-origin counter order, buffering
@@ -824,6 +985,7 @@ func (m *Manager) Recover() {
 			ma.forced = make(map[wire.UpdateSeq]bool)
 			ma.grants = make(map[grantKey]map[wire.NodeID]time.Time)
 			ma.lastOp = make(map[grantKey]wire.Update)
+			ma.resetOverload()
 			for _, p := range ma.peers {
 				ma.lastSeen[p] = now
 			}
@@ -881,8 +1043,16 @@ func (m *Manager) ResetVolatile() {
 			ma.hbTimer.Stop()
 			ma.hbTimer = nil
 		}
+		if ma.adaptTimer != nil {
+			ma.adaptTimer.Stop()
+			ma.adaptTimer = nil
+		}
+		ma.resetOverload()
 		if ma.cfg.FreezeTi > 0 && len(ma.peers) > 0 {
 			m.scheduleHeartbeat(app, ma)
+		}
+		if ma.cfg.Overload.AdaptiveTe.Max > 0 {
+			m.scheduleAdapt(app, ma)
 		}
 	}
 }

@@ -27,6 +27,12 @@ type HostStats struct {
 	QueryRounds uint64
 	// QueryTimeouts counts query rounds that timed out without a decision.
 	QueryTimeouts uint64
+	// BusyReplies counts manager load-shed (Busy) replies received for
+	// in-flight rounds.
+	BusyReplies uint64
+	// Backoffs counts check rounds deferred by admission backoff (after a
+	// Busy reply or inside an app's busy window).
+	Backoffs uint64
 	// CacheLen is the current number of cached entries.
 	CacheLen int
 }
@@ -49,6 +55,12 @@ type ManagerStats struct {
 	QueriesServed uint64
 	// QueriesFrozen counts queries declined while frozen or syncing.
 	QueriesFrozen uint64
+	// QueriesShed counts queries rejected by admission control with a Busy
+	// reply.
+	QueriesShed uint64
+	// TeWidenings counts adaptive-Te controller intervals that widened the
+	// effective revocation bound.
+	TeWidenings uint64
 	// UpdatesIssued counts locally issued operations.
 	UpdatesIssued uint64
 	// UpdatesApplied counts peer operations applied (including buffered and
@@ -70,6 +82,10 @@ type ManagerStats struct {
 	// SyncingApps is the current number of applications still recovering
 	// state on this manager.
 	SyncingApps int
+	// EffectiveTe is the largest current effective revocation bound across
+	// this manager's applications (equals the configured Te when the
+	// adaptive controller is off or idle).
+	EffectiveTe time.Duration
 }
 
 // Stats returns a snapshot of the manager's counters.
@@ -85,6 +101,9 @@ func (m *Manager) Stats() ManagerStats {
 		}
 		if ma.syncing {
 			st.SyncingApps++
+		}
+		if te := ma.effectiveTe(); te > st.EffectiveTe {
+			st.EffectiveTe = te
 		}
 	}
 	return st

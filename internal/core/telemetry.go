@@ -48,12 +48,14 @@ func outcomeIndex(d Decision) int {
 // HostTelemetry holds a host's pre-resolved metric handles and optional
 // span recorder. Install with Host.SetTelemetry or InstrumentHost.
 type HostTelemetry struct {
-	checks   [outcomeCount]*telemetry.Counter
-	latency  [outcomeCount]*telemetry.Histogram
-	rounds   *telemetry.Counter
-	timeouts *telemetry.Counter
-	revokes  *telemetry.Counter
-	spans    telemetry.SpanRecorder
+	checks      [outcomeCount]*telemetry.Counter
+	latency     [outcomeCount]*telemetry.Histogram
+	rounds      *telemetry.Counter
+	timeouts    *telemetry.Counter
+	revokes     *telemetry.Counter
+	busyReplies *telemetry.Counter
+	backoffs    *telemetry.Counter
+	spans       telemetry.SpanRecorder
 }
 
 // NewHostTelemetry resolves the host metric families in reg. spans may
@@ -74,6 +76,10 @@ func NewHostTelemetry(reg *telemetry.Registry, spans telemetry.SpanRecorder) *Ho
 		"Query rounds that timed out without reaching a decision.")
 	t.revokes = reg.Counter("wanac_host_revoke_flushes_total",
 		"Revocation notices that flushed a cached entry.")
+	t.busyReplies = reg.Counter("wanac_host_busy_replies_total",
+		"Manager load-shed (Busy) replies received for in-flight rounds.")
+	t.backoffs = reg.Counter("wanac_host_backoffs_total",
+		"Check rounds deferred by admission backoff.")
 	return t
 }
 
@@ -138,6 +144,8 @@ func (t *HostTelemetry) spanning() bool { return t != nil && t.spans != nil }
 type ManagerTelemetry struct {
 	queriesServed  *telemetry.Counter
 	queriesFrozen  *telemetry.Counter
+	queriesShed    *telemetry.Counter
+	teWidenings    *telemetry.Counter
 	updatesIssued  *telemetry.Counter
 	updatesApplied *telemetry.Counter
 	updatesStale   *telemetry.Counter
@@ -150,12 +158,13 @@ type ManagerTelemetry struct {
 // NewManagerTelemetry resolves the manager metric families in reg.
 func NewManagerTelemetry(reg *telemetry.Registry, spans telemetry.SpanRecorder) *ManagerTelemetry {
 	queries := reg.CounterVec("wanac_manager_queries_total",
-		"Access-right queries by result: served (grant/deny) or frozen (declined).", "result")
+		"Access-right queries by result: served (grant/deny), frozen (declined), or shed (rejected by admission control).", "result")
 	updates := reg.CounterVec("wanac_manager_updates_total",
 		"ACL update operations by disposition: issued locally, applied from peers, or stale (discarded by last-writer-wins).", "disposition")
 	t := &ManagerTelemetry{
 		queriesServed:  queries.With("served"),
 		queriesFrozen:  queries.With("frozen"),
+		queriesShed:    queries.With("shed"),
 		updatesIssued:  updates.With("issued"),
 		updatesApplied: updates.With("applied"),
 		updatesStale:   updates.With("stale"),
@@ -167,6 +176,8 @@ func NewManagerTelemetry(reg *telemetry.Registry, spans telemetry.SpanRecorder) 
 		"Latency from issuing an update to observing its update quorum.", telemetry.DefBuckets)
 	t.revocationLag = reg.Histogram("wanac_manager_revocation_propagation_seconds",
 		"Delay from forwarding a revocation notice to the host's acknowledgment.", telemetry.DefBuckets)
+	t.teWidenings = reg.Counter("wanac_manager_te_widenings_total",
+		"Adaptive-Te controller intervals that widened the effective revocation bound.")
 	return t
 }
 
@@ -204,6 +215,9 @@ func InstrumentManager(reg *telemetry.Registry, spans telemetry.SpanRecorder, m 
 	gauge("wanac_manager_syncing_apps",
 		"Applications currently recovering state on this manager.",
 		func(st ManagerStats) float64 { return float64(st.SyncingApps) })
+	gauge("wanac_manager_effective_te_seconds",
+		"Current effective revocation bound Te (widens under overload, capped at AdaptiveTe.Max).",
+		func(st ManagerStats) float64 { return st.EffectiveTe.Seconds() })
 	return t
 }
 

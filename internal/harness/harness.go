@@ -181,12 +181,12 @@ func (s Scenario) String() string {
 func Generate(seed int64) Scenario {
 	rng := rand.New(rand.NewSource(seed))
 
-	m := 1 + rng.Intn(5)       // M in {1..5}
-	c := 1 + rng.Intn(m)       // C in {1..M}
-	hosts := 1 + rng.Intn(4)   // {1..4}
-	users := 2 + rng.Intn(5)   // {2..6}
+	m := 1 + rng.Intn(5)     // M in {1..5}
+	c := 1 + rng.Intn(m)     // C in {1..M}
+	hosts := 1 + rng.Intn(4) // {1..4}
+	users := 2 + rng.Intn(5) // {2..6}
 	te := []time.Duration{20 * time.Second, 30 * time.Second, 45 * time.Second, time.Minute}[rng.Intn(4)]
-	r := 1 + rng.Intn(3)       // R in {1..3}
+	r := 1 + rng.Intn(3) // R in {1..3}
 	bound := []float64{1, 0.9, 0.8}[rng.Intn(3)]
 
 	p := Params{

@@ -158,8 +158,9 @@ func TestEnqueueCompactsDrainedPrefix(t *testing.T) {
 		p.Enqueue(frame(b))
 	}
 	p.mu.Lock()
-	qhead, qlen := p.qhead, len(p.q)
-	first, last := p.q[p.qhead].frame[0], p.q[len(p.q)-1].frame[0]
+	bulk := &p.lanes[wire.LaneBulk]
+	qhead, qlen := bulk.qhead, len(bulk.q)
+	first, last := bulk.q[bulk.qhead].frame[0], bulk.q[len(bulk.q)-1].frame[0]
 	p.mu.Unlock()
 	if qhead != 0 {
 		t.Errorf("qhead = %d, want 0 (drained prefix compacted)", qhead)
@@ -386,7 +387,7 @@ func TestBatchedSendZeroAllocs(t *testing.T) {
 	drain := func() {
 		for {
 			p.mu.Lock()
-			empty := len(p.q) == p.qhead
+			empty := p.lanes[wire.LaneBulk].depth() == 0 && p.lanes[wire.LaneHigh].depth() == 0
 			p.mu.Unlock()
 			if empty {
 				return

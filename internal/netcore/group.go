@@ -84,8 +84,11 @@ func (g *Group) Stats() TransportStats {
 		st.Peers = make(map[string]string, len(g.peers))
 	}
 	for id, p := range g.peers {
-		depth, state := p.status()
-		st.QueueDepth += depth
+		depths, state := p.status()
+		for ln, d := range depths {
+			st.QueueDepth += d
+			st.LaneDepths[ln] += d
+		}
 		st.Peers[string(id)] = state.String()
 		switch state {
 		case StateUp:

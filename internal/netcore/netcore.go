@@ -70,6 +70,12 @@ type Config struct {
 	// freshest protocol traffic is the most useful, since the protocol's own
 	// retry machinery regenerates anything older.
 	QueueDepth int
+	// LaneDepth bounds each peer's high-priority outbound lane (revocations,
+	// updates, admin, sync, heartbeats — see wire.LaneOf). It is sized
+	// separately from QueueDepth so a bulk query flood can never evict
+	// control traffic: each lane overflows only into itself. Zero defaults
+	// to QueueDepth.
+	LaneDepth int
 	// DialTimeout bounds one connection attempt.
 	DialTimeout time.Duration
 	// BackoffMin and BackoffMax bound the exponential redial backoff. The
@@ -115,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 128
 	}
+	if c.LaneDepth <= 0 {
+		c.LaneDepth = c.QueueDepth
+	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = time.Second
 	}
@@ -152,6 +161,10 @@ type Option func(*Config)
 
 // WithQueueDepth bounds each peer's outbound queue.
 func WithQueueDepth(n int) Option { return func(c *Config) { c.QueueDepth = n } }
+
+// WithLaneDepth bounds each peer's high-priority outbound lane separately
+// from the bulk queue, so control traffic survives bulk floods.
+func WithLaneDepth(n int) Option { return func(c *Config) { c.LaneDepth = n } }
 
 // WithBackoff bounds the exponential redial backoff.
 func WithBackoff(min, max time.Duration) Option {
@@ -231,6 +244,15 @@ type Counters struct {
 	// peer, encode failure, queue overflow, undeliverable after dial
 	// failure, or discarded by Close's drain deadline.
 	Drops atomic.Uint64
+	// LaneEnqueued, LaneDelivered, and LaneDrops account every queued entry
+	// per priority lane (indexed by wire.Lane). The writer maintains the
+	// conservation invariant per lane:
+	//
+	//	LaneDelivered + LaneDrops == LaneEnqueued (once quiesced)
+	//
+	// LaneDrops sums to Drops minus unknown-peer drops, which are counted
+	// before a lane is ever assigned.
+	LaneEnqueued, LaneDelivered, LaneDrops [2]atomic.Uint64
 	// Dials counts connection attempts.
 	Dials atomic.Uint64
 	// DialFailures counts connection attempts that failed.
@@ -289,8 +311,16 @@ type TransportStats struct {
 	// BatchFrames are cumulative per-bucket counts of frames per flush; the
 	// bucket upper bounds are BatchFrameBounds plus a final overflow slot.
 	BatchFrames []uint64 `json:"batch_frames"`
+	// LaneEnqueued, LaneDelivered, and LaneDrops are per-priority-lane
+	// accounting (index 0 = bulk, 1 = high; see wire.Lane). Once a peer
+	// quiesces, delivered+drops == enqueued holds per lane.
+	LaneEnqueued  [2]uint64 `json:"lane_enqueued"`
+	LaneDelivered [2]uint64 `json:"lane_delivered"`
+	LaneDrops     [2]uint64 `json:"lane_drops"`
 	// QueueDepth is the current total of frames queued across peers.
 	QueueDepth int `json:"queue_depth"`
+	// LaneDepths is the current per-lane split of QueueDepth.
+	LaneDepths [2]int `json:"lane_depths"`
 	// PeersUp, PeersConnecting, and PeersBackoff count peers by health
 	// state.
 	PeersUp         int `json:"peers_up"`
@@ -308,9 +338,18 @@ func (c *Counters) snapshot() TransportStats {
 	for i := range c.batchFrames {
 		frames[i] = c.batchFrames[i].Load()
 	}
+	var laneEnq, laneDel, laneDrop [2]uint64
+	for ln := range laneEnq {
+		laneEnq[ln] = c.LaneEnqueued[ln].Load()
+		laneDel[ln] = c.LaneDelivered[ln].Load()
+		laneDrop[ln] = c.LaneDrops[ln].Load()
+	}
 	return TransportStats{
 		Sends:          c.Sends.Load(),
 		Drops:          c.Drops.Load(),
+		LaneEnqueued:   laneEnq,
+		LaneDelivered:  laneDel,
+		LaneDrops:      laneDrop,
 		Dials:          c.Dials.Load(),
 		DialFailures:   c.DialFailures.Load(),
 		Reconnects:     c.Reconnects.Load(),

@@ -36,22 +36,40 @@ type DialFunc func() (Sender, error)
 
 // queued is one outbound queue entry: either a pre-encoded frame (legacy
 // Enqueue path) or an un-encoded message the writer encodes — and coalesces
-// with its queue neighbors — at flush time (EnqueueMessage path).
+// with its queue neighbors — at flush time (EnqueueMessage path). lane is
+// the priority class the entry was queued under, kept on the entry so the
+// drained batch (which interleaves lanes, high first) can still account
+// drops and deliveries to the right lane.
 type queued struct {
 	frame []byte
 	msg   wire.Message
+	lane  wire.Lane
 }
 
 // piece is one wire frame produced by a flush: either a pre-encoded frame
 // or an (off, n) range of the writer's encode buffer (offsets, not
 // subslices, because the buffer may be reallocated by a later frame in the
-// same flush). msgs is how many protocol messages the piece carries, so a
-// dropped piece counts every coalesced message exactly once.
+// same flush). msgs is how many protocol messages the piece carries per
+// lane, so a dropped piece counts every coalesced message exactly once in
+// its own lane.
 type piece struct {
 	frame  []byte
 	off, n int
-	msgs   int
+	msgs   [2]int // indexed by wire.Lane
 }
+
+// total returns the piece's message count across both lanes.
+func (pc piece) total() int { return pc.msgs[wire.LaneBulk] + pc.msgs[wire.LaneHigh] }
+
+// laneQueue is one priority class's bounded drop-oldest queue; qhead indexes
+// the oldest live entry (the prefix before it has been drained or dropped).
+type laneQueue struct {
+	q     []queued
+	qhead int
+}
+
+// depth returns the number of live entries.
+func (l *laneQueue) depth() int { return len(l.q) - l.qhead }
 
 // Peer owns one remote node's outbound path: a bounded drop-oldest frame
 // queue, a dedicated writer goroutine that drains it, and the reconnect
@@ -79,9 +97,12 @@ type Peer struct {
 	mrun     []wire.Message
 	idPrefix []byte
 
-	mu    sync.Mutex
-	q     []queued // outbound entries; qhead indexes the oldest
-	qhead int
+	mu sync.Mutex
+	// lanes are the per-class outbound queues, indexed by wire.Lane. The
+	// high lane (revocations, updates, admin, sync, heartbeats) is drained
+	// before any bulk traffic and bounded separately (cfg.LaneDepth), so a
+	// flood of checks can never starve the revocation machinery.
+	lanes [2]laneQueue
 	dial  DialFunc
 	cur   Sender
 	state State
@@ -129,36 +150,59 @@ func (p *Peer) notify(old, now State) {
 }
 
 // Enqueue queues a pre-encoded frame for the writer goroutine, dropping the
-// oldest queued entry when the queue is full. It never blocks.
-func (p *Peer) Enqueue(frame []byte) { p.enqueue(queued{frame: frame}) }
+// oldest queued entry in the bulk lane when it is full. It never blocks.
+// Pre-encoded frames cannot be classified without decoding, so they ride
+// the bulk lane; lane-aware callers use EnqueueMessage.
+func (p *Peer) Enqueue(frame []byte) { p.enqueue(queued{frame: frame, lane: wire.LaneBulk}) }
 
-// EnqueueMessage queues an un-encoded message. The writer goroutine encodes
-// it at flush time, coalescing it with other messages drained in the same
-// flush into a single wire.Batch frame — so the encode cost, the frame
-// header, and the write syscall are all off the caller's goroutine and
-// amortized across the batch. Requires cfg.Framing.
-func (p *Peer) EnqueueMessage(msg wire.Message) { p.enqueue(queued{msg: msg}) }
+// EnqueueMessage queues an un-encoded message in its priority lane
+// (wire.LaneOf). The writer goroutine encodes it at flush time, coalescing
+// it with other messages drained in the same flush into a single wire.Batch
+// frame — so the encode cost, the frame header, and the write syscall are
+// all off the caller's goroutine and amortized across the batch. Requires
+// cfg.Framing.
+func (p *Peer) EnqueueMessage(msg wire.Message) {
+	p.enqueue(queued{msg: msg, lane: wire.LaneOf(msg)})
+}
+
+// dropLane counts n messages dropped from one lane, keeping the per-lane
+// conservation invariant (delivered + dropped == enqueued) and the
+// aggregate Drops counter in lockstep.
+func (p *Peer) dropLane(lane wire.Lane, n uint64) {
+	if n == 0 {
+		return
+	}
+	p.ctr.LaneDrops[lane].Add(n)
+	p.ctr.Drops.Add(n)
+}
 
 func (p *Peer) enqueue(ent queued) {
+	lane := ent.lane
+	p.ctr.LaneEnqueued[lane].Add(1)
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		p.ctr.Drops.Add(1)
+		p.dropLane(lane, 1)
 		return
 	}
-	if len(p.q)-p.qhead >= p.cfg.QueueDepth {
-		p.q[p.qhead] = queued{}
-		p.qhead++
-		p.ctr.Drops.Add(1)
+	lq := &p.lanes[lane]
+	limit := p.cfg.QueueDepth
+	if lane == wire.LaneHigh {
+		limit = p.cfg.LaneDepth
+	}
+	if lq.depth() >= limit {
+		lq.q[lq.qhead] = queued{}
+		lq.qhead++
+		p.dropLane(lane, 1)
 	}
 	// Reclaim the drained prefix once it dominates the backing array.
-	if p.qhead > 32 && p.qhead*2 >= len(p.q) {
-		n := copy(p.q, p.q[p.qhead:])
-		clear(p.q[n:])
-		p.q = p.q[:n]
-		p.qhead = 0
+	if lq.qhead > 32 && lq.qhead*2 >= len(lq.q) {
+		n := copy(lq.q, lq.q[lq.qhead:])
+		clear(lq.q[n:])
+		lq.q = lq.q[:n]
+		lq.qhead = 0
 	}
-	p.q = append(p.q, ent)
+	lq.q = append(lq.q, ent)
 	p.mu.Unlock()
 	p.nudge()
 }
@@ -264,11 +308,15 @@ func (p *Peer) beginClose(deadline time.Time) {
 // Wait blocks until the writer goroutine has exited.
 func (p *Peer) Wait() { <-p.done }
 
-// status reports the queue depth and health state for stats snapshots.
-func (p *Peer) status() (depth int, state State) {
+// status reports the per-lane queue depths and health state for stats
+// snapshots.
+func (p *Peer) status() (depths [2]int, state State) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.q) - p.qhead, p.state
+	for ln := range p.lanes {
+		depths[ln] = p.lanes[ln].depth()
+	}
+	return depths, p.state
 }
 
 // State returns the peer's current health state.
@@ -299,13 +347,16 @@ func (p *Peer) run() {
 		p.flush(batch)
 	}
 	p.mu.Lock()
-	dropped := len(p.q) - p.qhead
-	p.q, p.qhead = nil, 0
+	var dropped [2]int
+	for ln := range p.lanes {
+		dropped[ln] = p.lanes[ln].depth()
+		p.lanes[ln] = laneQueue{}
+	}
 	cur := p.cur
 	p.cur = nil
 	p.mu.Unlock()
-	if dropped > 0 {
-		p.ctr.Drops.Add(uint64(dropped))
+	for ln, d := range dropped {
+		p.dropLane(wire.Lane(ln), uint64(d))
 	}
 	if cur != nil {
 		cur.Close()
@@ -314,18 +365,20 @@ func (p *Peer) run() {
 
 // nextBatch blocks until at least one entry is ready, then drains up to
 // cfg.MaxBatch entries into the writer-owned batch slice under one lock
-// acquisition. The drain is opportunistic — whatever is queued right now,
-// never waiting for more — so batching adds no latency: an idle peer still
-// sends a lone message immediately, and only under load (queue occupancy)
-// do flushes grow. While the peer is in backoff with no live sender,
-// queued entries wait (accumulating sends drop oldest) until the backoff
-// expires. Returns false when the peer is closed and the queue is drained
-// or the drain deadline passed.
+// acquisition — high lane first, so revocation/update traffic coalesces at
+// the front of the flush and is written before any bulk entry. The drain is
+// opportunistic — whatever is queued right now, never waiting for more — so
+// batching adds no latency: an idle peer still sends a lone message
+// immediately, and only under load (queue occupancy) do flushes grow. While
+// the peer is in backoff with no live sender, queued entries wait
+// (accumulating sends drop oldest per lane) until the backoff expires.
+// Returns false when the peer is closed and the queues are drained or the
+// drain deadline passed.
 func (p *Peer) nextBatch() ([]queued, bool) {
 	for {
 		p.mu.Lock()
 		now := time.Now()
-		empty := len(p.q) == p.qhead
+		empty := p.lanes[wire.LaneBulk].depth() == 0 && p.lanes[wire.LaneHigh].depth() == 0
 		if p.closed && (empty || now.After(p.drainBy)) {
 			p.mu.Unlock()
 			return nil, false
@@ -333,19 +386,32 @@ func (p *Peer) nextBatch() ([]queued, bool) {
 		var wait time.Duration = -1
 		if !empty {
 			if p.cur != nil || p.state != StateBackoff || !now.Before(p.backoffUntil) {
-				n := len(p.q) - p.qhead
-				if n > p.cfg.MaxBatch {
-					n = p.cfg.MaxBatch
+				batch := p.batch[:0]
+				room := p.cfg.MaxBatch
+				for _, lane := range [2]wire.Lane{wire.LaneHigh, wire.LaneBulk} {
+					lq := &p.lanes[lane]
+					n := lq.depth()
+					if n > room {
+						n = room
+					}
+					if n == 0 {
+						continue
+					}
+					batch = append(batch, lq.q[lq.qhead:lq.qhead+n]...)
+					clear(lq.q[lq.qhead : lq.qhead+n])
+					lq.qhead += n
+					if lq.qhead == len(lq.q) {
+						// Full drain: rewind so the array is reused from the
+						// start instead of growing rightward forever.
+						lq.q = lq.q[:0]
+						lq.qhead = 0
+					}
+					room -= n
+					if room == 0 {
+						break
+					}
 				}
-				p.batch = append(p.batch[:0], p.q[p.qhead:p.qhead+n]...)
-				clear(p.q[p.qhead : p.qhead+n])
-				p.qhead += n
-				if p.qhead == len(p.q) {
-					// Full drain: rewind so the array is reused from the
-					// start instead of growing rightward forever.
-					p.q = p.q[:0]
-					p.qhead = 0
-				}
+				p.batch = batch
 				p.mu.Unlock()
 				return p.batch, true
 			}
@@ -399,10 +465,18 @@ func (p *Peer) flush(batch []queued) {
 		}
 		if written > 0 {
 			var bytes uint64
+			var delivered [2]uint64
 			for _, pc := range pieces[:written] {
 				bytes += uint64(pc.n)
+				delivered[wire.LaneBulk] += uint64(pc.msgs[wire.LaneBulk])
+				delivered[wire.LaneHigh] += uint64(pc.msgs[wire.LaneHigh])
 			}
 			p.ctr.BytesOut.Add(bytes)
+			for ln, n := range delivered {
+				if n > 0 {
+					p.ctr.LaneDelivered[ln].Add(n)
+				}
+			}
 			p.ctr.observeBatch(written)
 			pieces = pieces[written:]
 		}
@@ -414,11 +488,14 @@ func (p *Peer) flush(batch []queued) {
 			return
 		}
 	}
-	var msgs uint64
+	var msgs [2]uint64
 	for _, pc := range pieces {
-		msgs += uint64(pc.msgs)
+		msgs[wire.LaneBulk] += uint64(pc.msgs[wire.LaneBulk])
+		msgs[wire.LaneHigh] += uint64(pc.msgs[wire.LaneHigh])
 	}
-	p.ctr.Drops.Add(msgs)
+	for ln, n := range msgs {
+		p.dropLane(wire.Lane(ln), n)
+	}
 }
 
 // encodeBatch turns the drained entries into wire frames. Pre-encoded
@@ -435,21 +512,26 @@ func (p *Peer) encodeBatch(batch []queued) []piece {
 	for i < len(batch) {
 		if batch[i].frame != nil {
 			fr := batch[i].frame
-			pieces = append(pieces, piece{frame: fr, n: len(fr), msgs: 1})
+			var msgs [2]int
+			msgs[batch[i].lane] = 1
+			pieces = append(pieces, piece{frame: fr, n: len(fr), msgs: msgs})
 			i++
 			continue
 		}
 		if f == nil {
 			// Message entries need framing metadata the transport did not
 			// provide; drop defensively (transports always set Framing).
-			p.ctr.Drops.Add(1)
+			p.dropLane(batch[i].lane, 1)
 			i++
 			continue
 		}
 		// Collect the longest run of consecutive messages that fits one
 		// frame. A message that is already a wire.Batch travels alone — the
-		// codec (correctly) refuses nested batches.
+		// codec (correctly) refuses nested batches. Runs may span the
+		// high/bulk boundary: priority was already applied by the drain
+		// order, so coalescing across it only saves a frame header.
 		run := p.runScratch()
+		var runLanes [2]int
 		sum := 0
 		for i < len(batch) && batch[i].frame == nil {
 			m := batch[i].msg
@@ -458,12 +540,12 @@ func (p *Peer) encodeBatch(batch []queued) []piece {
 			}
 			sz, err := wire.Size(m)
 			if err != nil {
-				p.ctr.Drops.Add(1)
+				p.dropLane(batch[i].lane, 1)
 				i++
 				continue
 			}
 			if len(p.idPrefix)+sz > f.Limit {
-				p.ctr.Drops.Add(1)
+				p.dropLane(batch[i].lane, 1)
 				i++
 				continue
 			}
@@ -473,6 +555,7 @@ func (p *Peer) encodeBatch(batch []queued) []piece {
 				}
 			}
 			run = append(run, m)
+			runLanes[batch[i].lane]++
 			sum += sz
 			i++
 			if _, isBatch := m.(wire.Batch); isBatch {
@@ -496,14 +579,16 @@ func (p *Peer) encodeBatch(batch []queued) []piece {
 			fbuf, err = wire.AppendBatch(fbuf, run)
 		}
 		if err != nil {
-			p.ctr.Drops.Add(uint64(len(run)))
+			for ln, n := range runLanes {
+				p.dropLane(wire.Lane(ln), uint64(n))
+			}
 			fbuf = fbuf[:start]
 			continue
 		}
 		if f.Stream {
 			binary.BigEndian.PutUint32(fbuf[start:start+4], uint32(len(fbuf)-pstart))
 		}
-		pieces = append(pieces, piece{off: start, n: len(fbuf) - start, msgs: len(run)})
+		pieces = append(pieces, piece{off: start, n: len(fbuf) - start, msgs: runLanes})
 	}
 	p.fbuf = fbuf
 	p.pieces = pieces

@@ -1,6 +1,9 @@
 package netcore
 
-import "wanac/internal/telemetry"
+import (
+	"wanac/internal/telemetry"
+	"wanac/internal/wire"
+)
 
 // RegisterTransport re-exports a transport's stats through a telemetry
 // registry: monotonic counters (sends, drops, dials, reconnects, bytes)
@@ -51,6 +54,31 @@ func RegisterTransport(reg *telemetry.Registry, stats func() TransportStats) {
 	for _, g := range gauges {
 		get := g.get
 		reg.GaugeFunc(g.name, g.help, func() float64 { return get(stats()) })
+	}
+	laneCounters := []struct {
+		name, help string
+		get        func(TransportStats, int) float64
+	}{
+		{"wanac_transport_lane_enqueued_total", "Messages enqueued per priority lane.",
+			func(st TransportStats, ln int) float64 { return float64(st.LaneEnqueued[ln]) }},
+		{"wanac_transport_lane_delivered_total", "Messages delivered per priority lane.",
+			func(st TransportStats, ln int) float64 { return float64(st.LaneDelivered[ln]) }},
+		{"wanac_transport_lane_drops_total", "Messages dropped per priority lane.",
+			func(st TransportStats, ln int) float64 { return float64(st.LaneDrops[ln]) }},
+	}
+	lanes := [2]string{wire.LaneBulk.String(), wire.LaneHigh.String()}
+	for _, c := range laneCounters {
+		vec := reg.CounterVec(c.name, c.help, "lane")
+		for ln, label := range lanes {
+			ln, get := ln, c.get
+			vec.WithFunc(func() float64 { return get(stats(), ln) }, label)
+		}
+	}
+	depthVec := reg.GaugeVec("wanac_transport_lane_depth",
+		"Frames currently queued per priority lane across peers.", "lane")
+	for ln, label := range lanes {
+		ln := ln
+		depthVec.WithFunc(func() float64 { return float64(stats().LaneDepths[ln]) }, label)
 	}
 	reg.GaugeSet("wanac_transport_peer_state",
 		"Per-peer connection state (1 for the current state).",

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wanac/internal/core"
+	"wanac/internal/simnet"
 )
 
 // Catalog returns the named scenario gallery, in listing order. Every entry
@@ -97,6 +98,22 @@ func Catalog() []*Scenario {
 			WithCacheLimit(128).
 			WithAdminChurn(30 * time.Second).
 			For(3 * time.Minute),
+
+		New("overload-100x",
+			"100× check flood against finite-capacity managers; lanes + admission control + adaptive Te keep revocations converging").
+			WithTopology(Atlantic3()).
+			WithTe(30 * time.Second).
+			WithLoad(FlashCrowd{Base: 2, Peak: 200, At: 40 * time.Second,
+				Rise: 5 * time.Second, Sustain: 40 * time.Second, Fall: 10 * time.Second}).
+			WithPopulation(Population{Users: 100_000, ZipfS: 1.05, Authorized: 48}).
+			WithAdminChurn(20 * time.Second).
+			WithManagerCapacity(simnet.Capacity{
+				ServiceTime: 8 * time.Millisecond, QueueDepth: 64, LaneDepth: 256}).
+			WithOverload(core.OverloadConfig{
+				RateLimit:  core.RateLimitConfig{AppRPS: 60, AppBurst: 30, HostRPS: 25, HostBurst: 10},
+				AdaptiveTe: core.AdaptiveTeConfig{Max: 2 * time.Minute, Interval: 2 * time.Second},
+			}).
+			For(2 * time.Minute),
 
 		New("stale-allow-demo",
 			"BROKEN on purpose: inflated Te + dropped revoke notices under partition → stale allows").

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"wanac/internal/core"
 )
 
 // FormatResult renders one run's outcome as the `acsim run` transcript
@@ -16,6 +18,14 @@ func FormatResult(sc *Scenario, res *Result) string {
 	if sc.AdminEvery > 0 {
 		fmt.Fprintf(&b, "  revocations: %d at quorum, lag p99 %s over %d measured\n",
 			res.Revocations, fmtLag(res.RevocationLagP99), len(res.RevocationLags))
+	}
+	protected := sc.Capacity.ServiceTime > 0 || sc.Overload != (core.OverloadConfig{})
+	if o := res.Overload; protected {
+		fmt.Fprintf(&b, "  overload:   shed=%d busy=%d backoffs=%d te-widenings=%d effective-te-peak=%s queue-drops=%d bulk/%d high\n",
+			o.QueriesShed, o.BusyReplies, o.Backoffs, o.TeWidenings,
+			o.EffectiveTePeak, o.CapacityDrops[0], o.CapacityDrops[1])
+		fmt.Fprintf(&b, "  submit-lag: p99 %s over %d measured (revocation submit → converged)\n",
+			fmtLag(res.SubmitLagP99), len(res.SubmitLags))
 	}
 	fmt.Fprintf(&b, "  network:    %s\n", res.Net)
 	fmt.Fprintf(&b, "  oracles:\n")

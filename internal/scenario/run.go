@@ -47,6 +47,18 @@ type Result struct {
 	Revocations      int
 	RevocationLags   []time.Duration
 	RevocationLagP99 time.Duration
+	// SubmitLags measures each revocation end to end: admin submit →
+	// update quorum → no host still confirming. RevocationLags (above)
+	// starts the clock at quorum and is structurally bounded by cache
+	// expiry; the submit-to-quorum leg is where an overloaded, unprotected
+	// manager set leaks, so this is the distribution the overload
+	// experiments compare.
+	SubmitLags   []time.Duration
+	SubmitLagP99 time.Duration
+	// Overload aggregates the overload-protection counters across all
+	// nodes at the end of the run (zero when protection is off and the
+	// managers have infinite capacity).
+	Overload OverloadTotals
 	// Oracles and Violations are the four harness oracles' verdicts.
 	Oracles    []harness.OracleReport
 	Violations []harness.Violation
@@ -60,6 +72,26 @@ type Result struct {
 
 // Failed reports whether any oracle fired.
 func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// OverloadTotals sums the overload-protection telemetry across nodes.
+type OverloadTotals struct {
+	// QueriesShed counts manager queries rejected by admission control
+	// with a Busy reply; TeWidenings counts adaptive-Te controller
+	// intervals that widened the effective bound.
+	QueriesShed uint64
+	TeWidenings uint64
+	// BusyReplies counts Busy replies hosts processed; Backoffs counts
+	// host check rounds deferred by the backoff window.
+	BusyReplies uint64
+	Backoffs    uint64
+	// EffectiveTePeak is the widest effective Te observed on any manager
+	// during the run (sampled at the cache-sweep cadence; equals the base
+	// Te when the controller never widened).
+	EffectiveTePeak time.Duration
+	// CapacityDrops counts inbound messages dropped at the managers'
+	// finite-capacity queues, by wire.Lane (bulk, high).
+	CapacityDrops [2]uint64
+}
 
 // runtime drives one scenario against a sim.World, mirroring the harness
 // runner's bookkeeping (latest admin state per user, judged checks,
@@ -114,7 +146,10 @@ func Run(sc *Scenario, seed int64) (*Result, error) {
 			Loss:        sc.Loss,
 			Seed:        seed,
 		},
-		FlightRing: flightRing,
+		Overload:        sc.Overload,
+		ManagerCapacity: sc.Capacity,
+		Telemetry:       sc.Telemetry,
+		FlightRing:      flightRing,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: build world: %w", sc.Name, err)
@@ -139,7 +174,7 @@ func Run(sc *Scenario, seed int64) (*Result, error) {
 		// The load/population stream draws from its own rng so the network's
 		// loss/latency draws don't shift which user a check targets.
 		rng:       rand.New(rand.NewSource(seed + 1)),
-		oracles:   harness.NewOracleSet(sc.te(), p.QueryTimeout, sc.CacheLimit),
+		oracles:   harness.NewOracleSet(sc.oracleTe(), p.QueryTimeout, sc.CacheLimit),
 		users:     pop.AuthorizedUsers(),
 		revokedAt: make(map[wire.UserID]time.Time),
 		grantedAt: make(map[wire.UserID]time.Time),
@@ -173,6 +208,8 @@ func Run(sc *Scenario, seed int64) (*Result, error) {
 	res.Oracles = r.oracles.Reports()
 	res.Violations = r.oracles.Violations()
 	res.RevocationLagP99 = p99(res.RevocationLags)
+	res.SubmitLagP99 = p99(res.SubmitLags)
+	r.gatherOverload()
 	res.Net = w.Net.Stats()
 	if res.Failed() {
 		res.Flight = harness.MarkedFlightDump(w, res.Violations)
@@ -252,6 +289,7 @@ func (r *runtime) churnOnce() {
 		return
 	}
 	r.inflight[user] = true
+	submitAt := r.now()
 	// Submit to manager 0; the catalog keeps manager 0 outside partitioned
 	// regions so churn reaches quorum even mid-fault.
 	r.w.Managers[0].Submit(wire.AdminOp{
@@ -266,16 +304,17 @@ func (r *runtime) churnOnce() {
 		r.revokedAt[user] = tq
 		delete(r.grantedAt, user)
 		r.res.Revocations++
-		r.measureLag(user, tq)
+		r.measureLag(user, submitAt, tq)
 	})
 }
 
 // measureLag probes every host until none still confirms the revoked user,
-// recording the convergence lag, then schedules the re-grant. The probes are
-// judged checks, so a host still confirming past the bound is both a lag
-// data point and a revocation-safety violation.
-func (r *runtime) measureLag(user wire.UserID, tq time.Time) {
-	cap := 2*r.sc.te() + 30*time.Second
+// recording the convergence lag (from quorum) and the end-to-end lag (from
+// submit), then schedules the re-grant. The probes are judged checks, so a
+// host still confirming past the bound is both a lag data point and a
+// revocation-safety violation.
+func (r *runtime) measureLag(user wire.UserID, submitAt, tq time.Time) {
+	cap := 2*r.sc.oracleTe() + 30*time.Second
 	var sweep func()
 	sweep = func() {
 		if cur, ok := r.revokedAt[user]; !ok || !cur.Equal(tq) {
@@ -309,6 +348,7 @@ func (r *runtime) measureLag(user wire.UserID, tq time.Time) {
 				lag := r.now().Sub(tq)
 				if confirming == 0 {
 					r.res.RevocationLags = append(r.res.RevocationLags, lag)
+					r.res.SubmitLags = append(r.res.SubmitLags, r.now().Sub(submitAt))
 					r.w.Sched.After(5*time.Second, func() { r.regrant(user) })
 					return
 				}
@@ -319,6 +359,7 @@ func (r *runtime) measureLag(user wire.UserID, tq time.Time) {
 				// Never converged within the cap (the broken scenarios):
 				// record the cap so the table shows the pathology, and move on.
 				r.res.RevocationLags = append(r.res.RevocationLags, lag)
+				r.res.SubmitLags = append(r.res.SubmitLags, r.now().Sub(submitAt))
 				r.w.Sched.After(5*time.Second, func() { r.regrant(user) })
 			})
 		}
@@ -348,11 +389,43 @@ func (r *runtime) regrant(user wire.UserID) {
 	})
 }
 
-// sweepCaches feeds one observation per host to the cache-hygiene oracle.
+// sweepCaches feeds one observation per host to the cache-hygiene oracle
+// and samples the managers' effective Te (the adaptive controller decays
+// when load subsides, so the peak must be observed mid-run).
 func (r *runtime) sweepCaches() {
 	for i := range r.w.Hosts {
 		_, retained, expired := r.w.CacheObservation(i)
 		r.oracles.SweepCache(r.now(), i, len(retained), len(expired))
+	}
+	for _, m := range r.w.Managers {
+		if te := m.Stats().EffectiveTe; te > r.res.Overload.EffectiveTePeak {
+			r.res.Overload.EffectiveTePeak = te
+		}
+	}
+}
+
+// gatherOverload sums the overload-protection counters across nodes into
+// the result (called once, after the run).
+func (r *runtime) gatherOverload() {
+	o := &r.res.Overload
+	for _, m := range r.w.Managers {
+		st := m.Stats()
+		o.QueriesShed += st.QueriesShed
+		o.TeWidenings += st.TeWidenings
+		if st.EffectiveTe > o.EffectiveTePeak {
+			o.EffectiveTePeak = st.EffectiveTe
+		}
+	}
+	for _, h := range r.w.Hosts {
+		st := h.Stats()
+		o.BusyReplies += st.BusyReplies
+		o.Backoffs += st.Backoffs
+	}
+	for i := 0; i < r.sc.Topology.Managers(); i++ {
+		if st, ok := r.w.Net.CapacityStats(sim.ManagerID(i)); ok {
+			o.CapacityDrops[0] += st.Dropped[0]
+			o.CapacityDrops[1] += st.Dropped[1]
+		}
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"wanac/internal/core"
+	"wanac/internal/simnet"
+	"wanac/internal/telemetry"
 )
 
 // DefaultTe is the revocation bound used when a scenario doesn't set one.
@@ -56,6 +58,20 @@ type Scenario struct {
 	Seed int64
 	// Break injects deliberate bugs; see Break.
 	Break Break
+
+	// Overload is the manager-side admission-control configuration (token
+	// buckets, adaptive Te, Retry-After clamp). The zero value runs
+	// unprotected.
+	Overload core.OverloadConfig
+	// Capacity, when its ServiceTime is positive, gives every manager a
+	// finite-rate server with a bounded two-lane inbound queue
+	// (simnet.Capacity), so a check flood creates genuine manager overload
+	// instead of being absorbed instantaneously.
+	Capacity simnet.Capacity
+	// Telemetry, when non-nil, instruments every node against this
+	// registry, exactly as a live deployment would; the overload tests
+	// assert the exported counters match the Result's totals.
+	Telemetry *telemetry.Registry
 }
 
 // New starts a scenario definition.
@@ -107,12 +123,32 @@ func (s *Scenario) WithSeed(seed int64) *Scenario { s.Seed = seed; return s }
 // WithBreak injects deliberate protocol bugs.
 func (s *Scenario) WithBreak(b Break) *Scenario { s.Break = b; return s }
 
+// WithOverload sets the manager-side admission-control configuration.
+func (s *Scenario) WithOverload(o core.OverloadConfig) *Scenario { s.Overload = o; return s }
+
+// WithManagerCapacity installs a finite-capacity server on every manager.
+func (s *Scenario) WithManagerCapacity(c simnet.Capacity) *Scenario { s.Capacity = c; return s }
+
+// WithTelemetry instruments every node against reg.
+func (s *Scenario) WithTelemetry(reg *telemetry.Registry) *Scenario { s.Telemetry = reg; return s }
+
 // te returns the effective revocation bound.
 func (s *Scenario) te() time.Duration {
 	if s.Te > 0 {
 		return s.Te
 	}
 	return DefaultTe
+}
+
+// oracleTe returns the revocation bound the oracles must hold the run to:
+// with the adaptive-Te controller enabled, managers may legally widen grant
+// expiry up to AdaptiveTe.Max, so that cap — not the base Te — is the
+// promise the deployment makes.
+func (s *Scenario) oracleTe() time.Duration {
+	if m := s.Overload.AdaptiveTe.Max; m > s.te() {
+		return m
+	}
+	return s.te()
 }
 
 // policy returns the effective host policy with the scenario's Te applied.
@@ -180,6 +216,17 @@ func (s *Scenario) String() string {
 	}
 	if s.Loss > 0 {
 		fmt.Fprintf(&b, ", loss %.2g", s.Loss)
+	}
+	if s.Capacity.ServiceTime > 0 {
+		fmt.Fprintf(&b, "\n  capacity:   service=%s queue=%d lane=%d fifo=%v",
+			s.Capacity.ServiceTime, s.Capacity.QueueDepth, s.Capacity.LaneDepth, s.Capacity.FIFO)
+	}
+	if rl := s.Overload.RateLimit; rl != (core.RateLimitConfig{}) {
+		fmt.Fprintf(&b, "\n  admission:  app=%g/%g host=%g/%g (rps/burst)",
+			rl.AppRPS, rl.AppBurst, rl.HostRPS, rl.HostBurst)
+	}
+	if at := s.Overload.AdaptiveTe; at.Max > 0 {
+		fmt.Fprintf(&b, "\n  adaptive-te: max=%s interval=%s", at.Max, at.Interval)
 	}
 	if s.Break.broken() {
 		fmt.Fprintf(&b, "\n  BROKEN:     inflate-te=%v drop-revoke-notices=%v",

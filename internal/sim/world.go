@@ -30,6 +30,15 @@ type Config struct {
 	MaxUpdateRetries int
 	FreezeTi         time.Duration
 	HeartbeatEvery   time.Duration
+	// Overload is the manager-side admission-control configuration (token
+	// buckets, adaptive Te, Retry-After clamp), applied to every manager.
+	Overload core.OverloadConfig
+	// ManagerCapacity, when its ServiceTime is positive, installs a
+	// finite-capacity server on every manager: inbound messages queue in
+	// two bounded lanes and are processed at a fixed rate, so sustained
+	// query floods create genuine manager overload instead of being
+	// absorbed instantaneously. Hosts stay infinite-capacity.
+	ManagerCapacity simnet.Capacity
 	// Admin is a user seeded with the manage right on every manager, so
 	// tests and experiments can issue updates. Defaults to "admin".
 	Admin wire.UserID
@@ -180,6 +189,7 @@ func Build(cfg Config) (*World, error) {
 		MaxUpdateRetries: cfg.MaxUpdateRetries,
 		FreezeTi:         cfg.FreezeTi,
 		HeartbeatEvery:   cfg.HeartbeatEvery,
+		Overload:         cfg.Overload,
 	}
 	for i := 0; i < cfg.Managers; i++ {
 		env := NewEnv(managerIDs[i], net)
@@ -195,6 +205,9 @@ func Build(cfg Config) (*World, error) {
 			core.InstrumentManager(cfg.Telemetry, cfg.Spans, mgr)
 		}
 		net.Attach(managerIDs[i], mgr)
+		if cfg.ManagerCapacity.ServiceTime > 0 {
+			net.SetCapacity(managerIDs[i], cfg.ManagerCapacity)
+		}
 		w.Managers = append(w.Managers, mgr)
 	}
 
@@ -289,6 +302,7 @@ func (w *World) ResetTrial() {
 	w.Sched.DiscardPending()
 	w.Net.Heal()
 	w.Net.ResetStats()
+	w.Net.ResetCapacities()
 	if w.Tracer != nil {
 		w.Tracer.Reset()
 	}

@@ -61,6 +61,9 @@ type linkKey struct{ from, to wire.NodeID }
 type node struct {
 	handler Handler
 	crashed bool
+	// cap, when non-nil, is the node's finite-capacity model: deliveries
+	// queue behind a fixed-rate server instead of being handled inline.
+	cap *capacity
 }
 
 // Network is a simulated unreliable point-to-point + multicast network
@@ -386,6 +389,12 @@ func (n *Network) deliver(from, to wire.NodeID, msg wire.Message) {
 	nd, ok := n.nodes[to]
 	if !ok || nd.crashed {
 		n.counters.Dropped++
+		return
+	}
+	if nd.cap != nil {
+		// Finite-capacity node: the message queues behind the server and
+		// counts as delivered only when its service completes.
+		n.capEnqueue(nd, to, from, msg)
 		return
 	}
 	n.counters.Delivered++

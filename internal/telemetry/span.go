@@ -15,18 +15,18 @@ import (
 // query round's fan-out, every manager's reply (or the timeout), and the
 // final quorum decision or default allow.
 type Span struct {
-	Trace uint64    `json:"trace"`           // check-wide correlation ID
-	Node  string    `json:"node"`            // emitting node
-	Kind  string    `json:"kind"`            // check|round|reply|timeout|decision|query
-	Time  time.Time `json:"time"`            // emission time (node-local clock)
-	App   string    `json:"app,omitempty"`   //
-	User  string    `json:"user,omitempty"`  //
-	Right string    `json:"right,omitempty"` //
-	Peer  string    `json:"peer,omitempty"`  // reply/query: the other end
-	Round int       `json:"round,omitempty"` // 1-based query round (attempt)
-	Nonce uint64    `json:"nonce,omitempty"` // per-round wire nonce
+	Trace uint64    `json:"trace"`            // check-wide correlation ID
+	Node  string    `json:"node"`             // emitting node
+	Kind  string    `json:"kind"`             // check|round|reply|timeout|decision|query
+	Time  time.Time `json:"time"`             // emission time (node-local clock)
+	App   string    `json:"app,omitempty"`    //
+	User  string    `json:"user,omitempty"`   //
+	Right string    `json:"right,omitempty"`  //
+	Peer  string    `json:"peer,omitempty"`   // reply/query: the other end
+	Round int       `json:"round,omitempty"`  // 1-based query round (attempt)
+	Nonce uint64    `json:"nonce,omitempty"`  // per-round wire nonce
 	DurNs int64     `json:"dur_ns,omitempty"` // decision: time since the check began
-	Note  string    `json:"note,omitempty"`  // outcome or free-form detail
+	Note  string    `json:"note,omitempty"`   // outcome or free-form detail
 }
 
 // A SpanRecorder receives spans. Implementations must be safe for

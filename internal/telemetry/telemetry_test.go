@@ -192,14 +192,14 @@ func TestWritePrometheusAndParse(t *testing.T) {
 
 func TestParseTextRejectsMalformed(t *testing.T) {
 	cases := []string{
-		"wanac_orphan_total 1",                            // sample without TYPE
-		"# TYPE wanac_x bogus",                            // unknown type
-		"# TYPE wanac_x counter\nwanac_x notafloat",       // bad value
-		"# TYPE wanac_x counter\nwanac_x{l=\"v\" 1",       // unterminated labels
-		"# TYPE wanac_x counter\nwanac_x{0bad=\"v\"} 1",   // bad label name
-		"# TYPE wanac_x counter\nwanac_x{l=\"\\q\"} 1",    // bad escape
-		"# TYPE wanac_x counter\n# TYPE wanac_x gauge",    // re-declared
-		"# TYPE 0bad counter",                             // bad family name
+		"wanac_orphan_total 1",                          // sample without TYPE
+		"# TYPE wanac_x bogus",                          // unknown type
+		"# TYPE wanac_x counter\nwanac_x notafloat",     // bad value
+		"# TYPE wanac_x counter\nwanac_x{l=\"v\" 1",     // unterminated labels
+		"# TYPE wanac_x counter\nwanac_x{0bad=\"v\"} 1", // bad label name
+		"# TYPE wanac_x counter\nwanac_x{l=\"\\q\"} 1",  // bad escape
+		"# TYPE wanac_x counter\n# TYPE wanac_x gauge",  // re-declared
+		"# TYPE 0bad counter",                           // bad family name
 	}
 	for _, in := range cases {
 		if _, err := ParseText(strings.NewReader(in)); err == nil {

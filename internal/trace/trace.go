@@ -53,6 +53,15 @@ const (
 	// EventQueryServed: a manager answered a host Query. Appended after the
 	// original set so existing numeric values stay stable.
 	EventQueryServed
+	// EventQueryShed: a manager's admission control rejected a Query with a
+	// Busy reply instead of serving it.
+	EventQueryShed
+	// EventCheckBackoff: a host deferred a check round after a Busy reply
+	// (or while inside an app's busy window).
+	EventCheckBackoff
+	// EventTeAdapted: a manager's adaptive-Te controller changed the
+	// effective revocation bound; the note carries the new value.
+	EventTeAdapted
 )
 
 var eventNames = map[EventType]string{
@@ -72,6 +81,9 @@ var eventNames = map[EventType]string{
 	EventUnfrozen:      "unfrozen",
 	EventSynced:        "synced",
 	EventQueryServed:   "query-served",
+	EventQueryShed:     "query-shed",
+	EventCheckBackoff:  "check-backoff",
+	EventTeAdapted:     "te-adapted",
 }
 
 // String returns the event's stable name.

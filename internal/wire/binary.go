@@ -36,6 +36,7 @@ const (
 	tagSealed
 	tagGossip
 	tagBatch
+	tagBusy
 )
 
 // ErrTruncated reports a frame that ended before all fields were read.
@@ -308,6 +309,12 @@ func AppendMarshal(buf []byte, msg Message) ([]byte, error) {
 		e.string(string(m.User))
 		e.bytes(m.Frame)
 		e.bytes(m.Sig)
+	case Busy:
+		e.byte(tagBusy)
+		e.string(string(m.App))
+		e.uint(m.Nonce)
+		e.duration(m.RetryAfter)
+		e.uint(m.Trace)
 	case Batch:
 		return AppendBatch(buf, m.Msgs)
 	default:
@@ -522,6 +529,13 @@ func decodeMessage(d *decoder, tag byte) (Message, error) {
 			User:  UserID(d.string()),
 			Frame: d.bytes(),
 			Sig:   d.bytes(),
+		}
+	case tagBusy:
+		msg = Busy{
+			App:        AppID(d.string()),
+			Nonce:      d.uint(),
+			RetryAfter: d.duration(),
+			Trace:      d.uint(),
 		}
 	case tagBatch:
 		n := d.uint()

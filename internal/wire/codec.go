@@ -33,6 +33,7 @@ func init() {
 	gob.Register(Sealed{})
 	gob.Register(Gossip{})
 	gob.Register(Batch{})
+	gob.Register(Busy{})
 }
 
 // EncodeEnvelope serializes an envelope with gob.

@@ -49,6 +49,8 @@ func sampleMessages() []Message {
 			{Seq: UpdateSeq{Origin: "m2", Counter: 4}, Op: OpRevoke, App: "a", User: "v", Right: RightManage},
 		}},
 		Gossip{},
+		Busy{App: "stocks", Nonce: 42, RetryAfter: 250 * time.Millisecond, Trace: 41},
+		Busy{},
 		Batch{Msgs: []Message{
 			Query{App: "stocks", User: "alice", Right: RightUse, Nonce: 42, Trace: 41},
 			Response{App: "stocks", User: "alice", Right: RightUse, Nonce: 42, Granted: true, Trace: 41},
@@ -289,8 +291,8 @@ func TestKinds(t *testing.T) {
 		}
 		seen[k] = true
 	}
-	if len(seen) != 19 {
-		t.Errorf("expected 19 distinct kinds, got %d", len(seen))
+	if len(seen) != 20 {
+		t.Errorf("expected 20 distinct kinds, got %d", len(seen))
 	}
 }
 

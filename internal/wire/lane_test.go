@@ -1,0 +1,32 @@
+package wire
+
+import "testing"
+
+// TestLaneOf pins the transport priority classification: the revocation,
+// update, admin, sync, and accessibility machinery rides the high lane;
+// query/response/application traffic — and Busy shed replies, whose volume
+// under overload is proportional to the flood itself — stays bulk.
+func TestLaneOf(t *testing.T) {
+	high := []Message{
+		RevokeNotice{}, RevokeAck{}, Update{}, UpdateAck{},
+		AdminOp{}, AdminReply{}, SyncRequest{}, SyncResponse{},
+		Heartbeat{}, HeartbeatAck{},
+	}
+	for _, m := range high {
+		if LaneOf(m) != LaneHigh {
+			t.Errorf("LaneOf(%s) = %v, want high", m.Kind(), LaneOf(m))
+		}
+	}
+	bulk := []Message{
+		Query{}, Response{}, Busy{}, Invoke{}, InvokeReply{},
+		ResolveRequest{}, ResolveResponse{}, Gossip{}, Sealed{}, Batch{},
+	}
+	for _, m := range bulk {
+		if LaneOf(m) != LaneBulk {
+			t.Errorf("LaneOf(%s) = %v, want bulk", m.Kind(), LaneOf(m))
+		}
+	}
+	if LaneBulk.String() != "bulk" || LaneHigh.String() != "high" {
+		t.Error("Lane.String misnames the lanes")
+	}
+}

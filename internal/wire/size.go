@@ -82,6 +82,9 @@ func Size(msg Message) (int, error) {
 	case Sealed:
 		return 1 + stringSize(string(m.User)) + bytesSize(m.Frame) +
 			bytesSize(m.Sig), nil
+	case Busy:
+		return 1 + stringSize(string(m.App)) + uvarintSize(m.Nonce) +
+			durationSize(m.RetryAfter) + uvarintSize(m.Trace), nil
 	case Batch:
 		return BatchSize(m.Msgs)
 	default:

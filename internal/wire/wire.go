@@ -319,6 +319,67 @@ type Gossip struct {
 // Kind implements Message.
 func (Gossip) Kind() string { return "gossip" }
 
+// Busy is a manager's explicit load-shed reply to a Query (admission
+// control): the manager's rate limiter rejected the query before any store
+// work was done. Nonce echoes the query's nonce so the host can correlate
+// the reply with its pending check round; RetryAfter is the manager's
+// advice on how long the host should wait before offering new load (hosts
+// add jitter). A Busy carries no grant information — the host treats it
+// like a non-answer for quorum counting, but unlike silence it arrives
+// immediately and tells the host to back off instead of retrying blind.
+type Busy struct {
+	App   AppID
+	Nonce uint64
+	// RetryAfter is the manager's backoff advice.
+	RetryAfter time.Duration
+	// Trace echoes Query.Trace for telemetry correlation; no protocol
+	// meaning.
+	Trace uint64
+}
+
+// Kind implements Message.
+func (Busy) Kind() string { return "busy" }
+
+// Lane classifies messages into transport priority classes. The per-peer
+// outbound queues keep one lane per class and drain LaneHigh first, so a
+// flood of bulk checks can never starve the revocation/update machinery —
+// the one message class whose delay violates the paper's Te bound.
+type Lane uint8
+
+const (
+	// LaneBulk is the default class: queries, responses, application
+	// traffic, resolution, and shed (Busy) replies. Bounded by QueueDepth;
+	// overflow drops oldest.
+	LaneBulk Lane = iota
+	// LaneHigh is the protected class: revocation forwards and acks, update
+	// dissemination and acks, admin operations, sync, and heartbeats.
+	// Bounded by LaneDepth; drained before any bulk traffic.
+	LaneHigh
+)
+
+// String returns "bulk" or "high".
+func (l Lane) String() string {
+	if l == LaneHigh {
+		return "high"
+	}
+	return "bulk"
+}
+
+// LaneOf returns the transport priority class for a message. Revocation,
+// update, admin, sync, and accessibility traffic rides the high lane;
+// everything else — including Busy replies, whose volume under shedding is
+// proportional to the overload itself — stays in the bulk lane.
+func LaneOf(msg Message) Lane {
+	switch msg.(type) {
+	case RevokeNotice, RevokeAck, Update, UpdateAck,
+		AdminOp, AdminReply, SyncRequest, SyncResponse,
+		Heartbeat, HeartbeatAck:
+		return LaneHigh
+	default:
+		return LaneBulk
+	}
+}
+
 // Batch carries multiple protocol messages to the same destination in one
 // frame. The transport writer coalesces same-peer messages queued in the
 // same flush into a Batch so a quorum fan-out pays one frame header, one

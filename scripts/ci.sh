@@ -61,6 +61,24 @@ echo "== scenario suite (race, repeated)"
 # regression in revocation safety or failover shows up here, not in prod.
 go test -race -count=2 -run TestCIFastScenarios ./internal/scenario
 
+echo "== overload protection (race, repeated)"
+# The overload stack guards revocation liveness under check floods: token
+# buckets (edge cases incl. refill, burst clamp, keyed eviction), manager
+# shedding with Busy/Retry-After, host backoff (spoof rejection, jitter,
+# clamp, no-attempt-consumed deferral), adaptive-Te widen/decay, outbound
+# lane accounting exactness, and the finite-capacity manager model.
+go test -race -count=2 ./internal/ratelimit
+go test -race -count=2 -run 'Overload|Busy|RateLimit|Lane|Capacity|AdaptiveTe|Shed' \
+	./internal/core ./internal/simnet ./internal/netcore
+
+echo "== overload experiment (race, repeated)"
+# The 100×-flood proof: protected (lanes + admission + adaptive Te) keeps
+# revocation submit→converged p99 within the promised bound while the
+# unprotected FIFO baseline leaks, with telemetry asserted exactly; plus
+# the overload-100x catalog scenario end to end with all four oracles.
+go test -race -count=2 -run 'TestOverloadProtectionBoundsRevocationLag' ./internal/scenario
+go test -race -count=1 -run 'TestFullCatalogRuns/overload-100x' ./internal/scenario
+
 echo "== benchmark smoke (one iteration each)"
 # One iteration per benchmark: catches benchmarks that fatal or hang without
 # paying full measurement time. Real numbers come from scripts/bench.sh.

@@ -175,50 +175,132 @@ type (
 	// TransportStats is a snapshot of transport counters, queue depth, and
 	// peer health.
 	TransportStats = netcore.TransportStats
-	// TransportOption tunes a transport created by Listen.
-	TransportOption = netcore.Option
 )
 
-// WithQueueDepth bounds each peer's outbound queue (default 128 frames);
-// overflow drops the oldest frame.
-func WithQueueDepth(n int) TransportOption { return netcore.WithQueueDepth(n) }
+// Overload-protection configuration (manager-side admission control).
+type (
+	// OverloadConfig is a manager application's complete overload-protection
+	// configuration: token-bucket admission, the adaptive-Te controller, and
+	// the Retry-After clamp. Set it on ManagerAppConfig.Overload, or build
+	// it from options with NewOverloadConfig.
+	OverloadConfig = core.OverloadConfig
+	// RateLimitConfig bounds query admission with token buckets, per
+	// application and per source host.
+	RateLimitConfig = core.RateLimitConfig
+	// AdaptiveTeConfig widens the effective Te under sustained overload, up
+	// to a stated Max — the paper's O(C/Te) overhead knob (§4.1) turned
+	// automatically.
+	AdaptiveTeConfig = core.AdaptiveTeConfig
+)
+
+// Option tunes a wanac node. One option set covers both layers of the
+// stack: transport options shape the endpoint a Listen call creates
+// (queues, batching, reconnect, stats), and admission options shape the
+// OverloadConfig that NewOverloadConfig folds for a manager application.
+// Options that do not apply to the consumer are inert — a single []Option
+// can describe a whole node and be handed to both constructors.
+type Option func(*settings)
+
+type settings struct {
+	transport []netcore.Option
+	overload  OverloadConfig
+}
+
+func buildSettings(opts []Option) *settings {
+	s := &settings{}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+func transportOpt(o netcore.Option) Option {
+	return func(s *settings) { s.transport = append(s.transport, o) }
+}
+
+// WithQueueDepth bounds each peer's outbound bulk-lane queue (default 128
+// frames); overflow drops the oldest frame.
+func WithQueueDepth(n int) Option { return transportOpt(netcore.WithQueueDepth(n)) }
+
+// WithLaneDepth bounds each peer's outbound high-priority lane (revocations,
+// updates, admin, heartbeats — defaults to the queue depth). The high lane
+// is drained before the bulk lane and overflows only into itself, so a bulk
+// query flood can never evict control traffic.
+func WithLaneDepth(n int) Option { return transportOpt(netcore.WithLaneDepth(n)) }
 
 // WithMaxBatch bounds how many queued messages one writer flush coalesces
 // into a single wire write (default 64). Batching is opportunistic — a
 // flush takes whatever is queued at that instant and never waits for more,
 // so it adds no latency; under load, same-peer messages share one frame
 // header and one write syscall. 1 disables coalescing.
-func WithMaxBatch(n int) TransportOption { return netcore.WithMaxBatch(n) }
+func WithMaxBatch(n int) Option { return transportOpt(netcore.WithMaxBatch(n)) }
 
 // WithBackoff sets the reconnect backoff range: delays double from min to
 // max with jitter (defaults 50ms to 3s).
-func WithBackoff(min, max time.Duration) TransportOption { return netcore.WithBackoff(min, max) }
+func WithBackoff(min, max time.Duration) Option {
+	return transportOpt(netcore.WithBackoff(min, max))
+}
 
 // WithDialTimeout bounds each connection attempt (default 1s).
-func WithDialTimeout(d time.Duration) TransportOption { return netcore.WithDialTimeout(d) }
+func WithDialTimeout(d time.Duration) Option { return transportOpt(netcore.WithDialTimeout(d)) }
 
 // WithStatsInterval enables periodic publication of TransportStats (to the
 // log, or to a WithStatsSink function). Zero, the default, disables it.
-func WithStatsInterval(d time.Duration) TransportOption { return netcore.WithStatsInterval(d) }
+func WithStatsInterval(d time.Duration) Option {
+	return transportOpt(netcore.WithStatsInterval(d))
+}
 
 // WithStatsSink directs periodic stats snapshots to fn instead of the log.
-func WithStatsSink(fn func(TransportStats)) TransportOption { return netcore.WithStatsSink(fn) }
+func WithStatsSink(fn func(TransportStats)) Option {
+	return transportOpt(netcore.WithStatsSink(fn))
+}
 
 // WithPeerStateSink invokes fn on every peer health transition with the new
 // state name ("connecting", "up", "backoff"). acnode feeds these into its
 // flight recorder so transport flaps appear on failure timelines; the
 // callback must be fast and must not call back into the transport.
-func WithPeerStateSink(fn func(peer NodeID, state string)) TransportOption {
-	return netcore.WithStateSink(func(peer NodeID, state netcore.State) {
+func WithPeerStateSink(fn func(peer NodeID, state string)) Option {
+	return transportOpt(netcore.WithStateSink(func(peer NodeID, state netcore.State) {
 		fn(peer, state.String())
-	})
+	}))
+}
+
+// WithRateLimit bounds query admission at a manager with token buckets (per
+// application and per source host). Queries over budget are answered with a
+// Busy reply carrying Retry-After; hosts defer the round and retry with
+// jittered backoff instead of hammering. Consumed by NewOverloadConfig.
+func WithRateLimit(rl RateLimitConfig) Option {
+	return func(s *settings) { s.overload.RateLimit = rl }
+}
+
+// WithAdaptiveTe enables the adaptive-Te controller: while the rate limiter
+// sheds, the effective Te widens (longer grants, longer host cache
+// residency, less re-verification traffic) up to at.Max, then decays back
+// once the overload clears. at.Max is the revocation bound the deployment
+// actually promises. Consumed by NewOverloadConfig.
+func WithAdaptiveTe(at AdaptiveTeConfig) Option {
+	return func(s *settings) { s.overload.AdaptiveTe = at }
+}
+
+// WithMaxRetryAfter clamps the Retry-After advertised in Busy replies
+// (default 5s). Consumed by NewOverloadConfig.
+func WithMaxRetryAfter(d time.Duration) Option {
+	return func(s *settings) { s.overload.MaxRetryAfter = d }
+}
+
+// NewOverloadConfig folds the admission-control options (WithRateLimit,
+// WithAdaptiveTe, WithMaxRetryAfter) into an OverloadConfig for
+// ManagerAppConfig.Overload. Transport options in opts are inert here.
+func NewOverloadConfig(opts ...Option) OverloadConfig {
+	return buildSettings(opts).overload
 }
 
 // Listen starts a live transport node on network "tcp" or "udp". TCP gives
 // ordered streams with reconnect; UDP is the most literal realization of
 // the paper's network model — nothing below the protocol retransmits.
-func Listen(network string, id NodeID, addr string, opts ...TransportOption) (Transport, error) {
-	cfg := netcore.BuildConfig(opts...)
+// Admission options in opts are inert here (see NewOverloadConfig).
+func Listen(network string, id NodeID, addr string, opts ...Option) (Transport, error) {
+	cfg := netcore.BuildConfig(buildSettings(opts).transport...)
 	switch network {
 	case "tcp":
 		return tcpnet.ListenConfig(id, addr, cfg)
@@ -232,21 +314,10 @@ func Listen(network string, id NodeID, addr string, opts ...TransportOption) (Tr
 // TCPNode is a live TCP transport endpoint implementing Env.
 type TCPNode = tcpnet.Node
 
-// ListenTCP starts a TCP transport node with default tuning.
-//
-// Deprecated: use Listen("tcp", id, addr, opts...), which returns the
-// unified Transport interface and accepts tuning options.
-func ListenTCP(id NodeID, addr string) (*TCPNode, error) { return tcpnet.Listen(id, addr) }
-
 // UDPNode is a live UDP transport endpoint implementing Env — the most
 // literal realization of the paper's unreliable network model (§2.2):
 // nothing below the protocol retransmits.
 type UDPNode = udpnet.Node
-
-// ListenUDP starts a UDP transport node with default tuning.
-//
-// Deprecated: use Listen("udp", id, addr, opts...).
-func ListenUDP(id NodeID, addr string) (*UDPNode, error) { return udpnet.Listen(id, addr) }
 
 // Analysis re-exports (§4.1).
 

@@ -89,14 +89,15 @@ func TestFacadePolicyPresets(t *testing.T) {
 	}
 }
 
-// TestFacadeTCP runs the public TCP entry points end to end on localhost.
+// TestFacadeTCP runs the public TCP entry points end to end on localhost
+// with default tuning (no options).
 func TestFacadeTCP(t *testing.T) {
-	mgrNode, err := ListenTCP("m0", "127.0.0.1:0")
+	mgrNode, err := Listen("tcp", "m0", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer mgrNode.Close()
-	hostNode, err := ListenTCP("h0", "127.0.0.1:0")
+	hostNode, err := Listen("tcp", "h0", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,10 +141,15 @@ func TestFacadeTCP(t *testing.T) {
 func TestFacadeListen(t *testing.T) {
 	for _, network := range []string{"tcp", "udp"} {
 		t.Run(network, func(t *testing.T) {
-			opts := []TransportOption{
+			opts := []Option{
 				WithQueueDepth(64),
+				WithLaneDepth(64),
+				WithMaxBatch(16),
 				WithBackoff(10*time.Millisecond, 100*time.Millisecond),
 				WithDialTimeout(500 * time.Millisecond),
+				// Admission options are inert for Listen; the same list
+				// configures the manager below via NewOverloadConfig.
+				WithRateLimit(RateLimitConfig{AppRPS: 1000, AppBurst: 1000}),
 			}
 			mgrNode, err := Listen(network, "m0", "127.0.0.1:0", opts...)
 			if err != nil {
@@ -165,6 +171,7 @@ func TestFacadeListen(t *testing.T) {
 			mgr := NewManager("m0", mgrNode, nil, nil)
 			if err := mgr.AddApp("demo", ManagerAppConfig{
 				Peers: []NodeID{"m0"}, CheckQuorum: 1, Te: time.Minute,
+				Overload: NewOverloadConfig(opts...),
 			}); err != nil {
 				t.Fatal(err)
 			}
@@ -199,6 +206,25 @@ func TestFacadeListen(t *testing.T) {
 func TestFacadeListenBadNetwork(t *testing.T) {
 	if _, err := Listen("sctp", "x", "127.0.0.1:0"); err == nil {
 		t.Error("unknown network accepted")
+	}
+}
+
+// TestFacadeOverloadOptions checks that NewOverloadConfig folds the
+// admission-control options and ignores transport options.
+func TestFacadeOverloadOptions(t *testing.T) {
+	got := NewOverloadConfig(
+		WithQueueDepth(7), // transport option: inert here
+		WithRateLimit(RateLimitConfig{AppRPS: 50, AppBurst: 25, HostRPS: 10, HostBurst: 5}),
+		WithAdaptiveTe(AdaptiveTeConfig{Max: 2 * time.Minute, Interval: time.Second}),
+		WithMaxRetryAfter(3*time.Second),
+	)
+	want := OverloadConfig{
+		RateLimit:     RateLimitConfig{AppRPS: 50, AppBurst: 25, HostRPS: 10, HostBurst: 5},
+		AdaptiveTe:    AdaptiveTeConfig{Max: 2 * time.Minute, Interval: time.Second},
+		MaxRetryAfter: 3 * time.Second,
+	}
+	if got != want {
+		t.Errorf("NewOverloadConfig = %+v, want %+v", got, want)
 	}
 }
 
