@@ -1,0 +1,20 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseTargets(t *testing.T) {
+	got, err := parseTargets("m0=127.0.0.1:7180, h0=127.0.0.1:7190")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "m0" || got[1].Addr != "127.0.0.1:7190" {
+		t.Fatalf("parseTargets = %+v", got)
+	}
+	for _, bad := range []string{"", "m0", "m0=", "=addr", "m0=a,m0=b"} {
+		if _, err := parseTargets(bad); err == nil {
+			t.Errorf("parseTargets(%q) accepted", bad)
+		}
+	}
+}

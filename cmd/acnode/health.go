@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"wanac/internal/core"
+)
+
+// shedUnhealthyRatio is the readiness cutoff for a manager's admission
+// control: shedding more than this fraction of queries since the last
+// probe means the node is up but not usefully serving, so load
+// balancers and the fleet monitor should route around it.
+const shedUnhealthyRatio = 0.5
+
+// healthHandler answers /health: 200 with {"ready":true} when the node
+// can do its job, 503 with the reasons otherwise.
+//
+// A node is ready when its transport reaches at least one peer (a host
+// needs a manager quorum eventually, a manager needs its replication
+// peers), and — for managers — when no application is still syncing
+// state and admission control is not shedding most queries. The shed
+// check is delta-based: each probe judges the interval since the
+// previous one, so a long-past overload does not keep a recovered node
+// red.
+type healthHandler struct {
+	rt *runtime
+
+	mu   sync.Mutex
+	prev core.ManagerStats // counters at the previous probe
+}
+
+func (h *healthHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	detail := map[string]string{}
+
+	// The transport dials lazily, so peer state exists only once the node
+	// has tried to talk: readiness judges observed connectivity (some peer
+	// contacted, none reachable → not ready) rather than failing a node
+	// that simply has not needed its peers yet.
+	ts := h.rt.node.Stats()
+	if known := ts.PeersUp + ts.PeersConnecting + ts.PeersBackoff; known > 0 && ts.PeersUp == 0 {
+		detail["transport"] = fmt.Sprintf("no peer up (%d connecting, %d in backoff)",
+			ts.PeersConnecting, ts.PeersBackoff)
+	}
+
+	if h.rt.mgr != nil {
+		st := h.rt.mgr.Stats()
+		if st.SyncingApps > 0 {
+			detail["manager"] = fmt.Sprintf("%d app(s) still syncing state", st.SyncingApps)
+		}
+		h.mu.Lock()
+		prev := h.prev
+		h.prev = st
+		h.mu.Unlock()
+		shed := st.QueriesShed - prev.QueriesShed
+		total := shed + (st.QueriesServed - prev.QueriesServed) + (st.QueriesFrozen - prev.QueriesFrozen)
+		if total > 0 {
+			if ratio := float64(shed) / float64(total); ratio > shedUnhealthyRatio {
+				detail["admission"] = fmt.Sprintf("shedding %.0f%% of queries since last probe", ratio*100)
+			}
+		}
+	}
+
+	ready := len(detail) == 0
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct {
+		Ready  bool              `json:"ready"`
+		Detail map[string]string `json:"detail,omitempty"`
+	}{ready, detail})
+}

@@ -24,6 +24,9 @@
 //	              dumps from several nodes to acflight for a merged timeline)
 //	/metrics      Prometheus text exposition: check latency histograms by
 //	              outcome, quorum/freeze gauges, transport health
+//	/health       readiness probe: 200 when the transport reaches a peer
+//	              and (managers) no app is syncing and admission control
+//	              is not shedding most queries, else 503 with reasons
 //
 // Every node keeps an always-on flight recorder: a bounded in-memory ring
 // of protocol events and transport health transitions, dumped on demand
@@ -265,6 +268,7 @@ func startNode(cfg nodeConfig) (*runtime, error) {
 		return nil, err
 	}
 	rt := &runtime{node: node, reg: telemetry.NewRegistry(), flight: rec}
+	telemetry.RegisterBuildInfo(rt.reg)
 	fail := func(err error) (*runtime, error) {
 		rt.Close()
 		return nil, err
@@ -420,6 +424,7 @@ func startDebugServer(addr string, rt *runtime, app wire.AppID) (func(), error) 
 			slog.Error("metrics write failed", "err", err)
 		}
 	})
+	mux.Handle("/health", &healthHandler{rt: rt})
 	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/jsonl")
 		if err := rt.flight.WriteDump(w); err != nil {

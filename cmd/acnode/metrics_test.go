@@ -120,6 +120,20 @@ func TestMetricsEndpointSmoke(t *testing.T) {
 			t.Errorf("host exposition: family %s = %q, want %s", fam, hostFams[fam], typ)
 		}
 	}
+	// Build identity: every binary's registry carries build info and the
+	// process start time, so a scrape identifies what is running and for
+	// how long.
+	if hostFams["wanac_build_info"] != "gauge" || hostFams["wanac_process_start_time_seconds"] != "gauge" {
+		t.Errorf("host exposition missing build info families: %v", hostFams)
+	}
+	if !strings.Contains(hostOut, `go_version="go`) {
+		t.Errorf("wanac_build_info missing go_version label:\n%s", hostOut)
+	}
+	if !strings.Contains(hostOut, "wanac_process_start_time_seconds 1") {
+		// Any plausible epoch value starts with 1 until 2033; the exact
+		// timestamp is the process's business.
+		t.Errorf("host exposition missing process start time:\n%s", hostOut)
+	}
 	if !strings.Contains(hostOut, `wanac_host_checks_total{outcome="allowed"} 1`) {
 		t.Errorf("host exposition missing allowed check:\n%s", hostOut)
 	}

@@ -28,6 +28,14 @@ func FormatResult(sc *Scenario, res *Result) string {
 			fmtLag(res.SubmitLagP99), len(res.SubmitLags))
 	}
 	fmt.Fprintf(&b, "  network:    %s\n", res.Net)
+	if len(res.SLO) > 0 {
+		fmt.Fprintf(&b, "  slo:\n")
+		for _, s := range res.SLO {
+			fmt.Fprintf(&b, "    %-22s objective %s, sli %s, budget %s, alerts %d%s\n",
+				s.Name, fmtPct(s.Objective), fmtPct(s.SLI), fmtBudget(s.BudgetConsumed),
+				s.Fired, fmtAlerts(s.Alerts))
+		}
+	}
 	fmt.Fprintf(&b, "  oracles:\n")
 	for _, o := range res.Oracles {
 		verdict := "pass"
@@ -59,6 +67,35 @@ func Verdict(res *Result) string {
 		return fmt.Sprintf("%d/%d pass", len(res.Oracles), len(res.Oracles))
 	}
 	return strings.Join(failed, ", ")
+}
+
+func fmtPct(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+
+// fmtBudget renders budget consumption as a percentage, capped so a
+// catastrophic run stays readable.
+func fmtBudget(v float64) string {
+	if v > 99.99 {
+		return ">9999%"
+	}
+	return fmt.Sprintf("%.0f%%", v*100)
+}
+
+// fmtAlerts renders the alert edges as " (fired +40s, cleared +1m55s)".
+func fmtAlerts(alerts []SLOAlert) string {
+	if len(alerts) == 0 {
+		return ""
+	}
+	parts := make([]string, len(alerts))
+	for i, a := range alerts {
+		verb := "cleared"
+		if a.Firing {
+			verb = "fired"
+		}
+		parts[i] = fmt.Sprintf("%s +%s", verb, a.At.Round(time.Second))
+	}
+	return " (" + strings.Join(parts, ", ") + ")"
 }
 
 func fmtLag(d time.Duration) string {

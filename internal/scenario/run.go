@@ -11,6 +11,7 @@ import (
 	"wanac/internal/harness"
 	"wanac/internal/sim"
 	"wanac/internal/simnet"
+	"wanac/internal/telemetry"
 	"wanac/internal/wire"
 )
 
@@ -59,6 +60,9 @@ type Result struct {
 	// nodes at the end of the run (zero when protection is off and the
 	// managers have infinite capacity).
 	Overload OverloadTotals
+	// SLO holds the final state of every scenario SLO (slo.go): windowed
+	// SLI, budget consumed, and the burn-rate alert's firing history.
+	SLO []SLOReport
 	// Oracles and Violations are the four harness oracles' verdicts.
 	Oracles    []harness.OracleReport
 	Violations []harness.Violation
@@ -88,6 +92,11 @@ type OverloadTotals struct {
 	// during the run (sampled at the cache-sweep cadence; equals the base
 	// Te when the controller never widened).
 	EffectiveTePeak time.Duration
+	// TeMaxedAt is the run offset of the first cache sweep that observed
+	// a manager's effective Te at the AdaptiveTe.Max cap — the moment the
+	// controller ran out of widening headroom (0 when it never did). The
+	// SLO regression test holds burn-rate alerts to firing before this.
+	TeMaxedAt time.Duration
 	// CapacityDrops counts inbound messages dropped at the managers'
 	// finite-capacity queues, by wire.Lane (bulk, high).
 	CapacityDrops [2]uint64
@@ -106,6 +115,10 @@ type runtime struct {
 
 	oracles *harness.OracleSet
 	users   []wire.UserID // authorized (seeded) users
+
+	// probeHist is the black-box revocation prober: one observation per
+	// measureLag sweep, so the SLO engine sees lag as an event stream.
+	probeHist *telemetry.Histogram
 
 	revokedAt map[wire.UserID]time.Time
 	grantedAt map[wire.UserID]time.Time
@@ -134,6 +147,14 @@ func Run(sc *Scenario, seed int64) (*Result, error) {
 		mgrTe = 10 * sc.te()
 	}
 	matrix := sc.Topology.Matrix()
+	// Every run is instrumented: against the caller's registry when set
+	// (the overload experiments assert exact counters), else a private
+	// one. The SLO engine and the prober histogram read the same families
+	// the nodes write.
+	reg := sc.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	w, err := sim.Build(sim.Config{
 		App:      "app",
 		Managers: sc.Topology.Managers(),
@@ -148,7 +169,7 @@ func Run(sc *Scenario, seed int64) (*Result, error) {
 		},
 		Overload:        sc.Overload,
 		ManagerCapacity: sc.Capacity,
-		Telemetry:       sc.Telemetry,
+		Telemetry:       reg,
 		FlightRing:      flightRing,
 	})
 	if err != nil {
@@ -186,6 +207,10 @@ func Run(sc *Scenario, seed int64) (*Result, error) {
 	for _, u := range r.users {
 		r.grantedAt[u] = r.start
 	}
+	r.probeHist = reg.Histogram("wanac_probe_revocation_lag_seconds",
+		"Black-box prober: revocation lag observed at each probe sweep (right-censored while hosts still confirm).",
+		telemetry.DefBuckets)
+	engine := r.setupSLO(reg)
 
 	for _, f := range sc.Faults {
 		f.schedule(r)
@@ -210,6 +235,7 @@ func Run(sc *Scenario, seed int64) (*Result, error) {
 	res.RevocationLagP99 = p99(res.RevocationLags)
 	res.SubmitLagP99 = p99(res.SubmitLags)
 	r.gatherOverload()
+	r.gatherSLO(engine)
 	res.Net = w.Net.Stats()
 	if res.Failed() {
 		res.Flight = harness.MarkedFlightDump(w, res.Violations)
@@ -346,6 +372,7 @@ func (r *runtime) measureLag(user wire.UserID, submitAt, tq time.Time) {
 				}
 				// Sweep complete: converged when no host confirms.
 				lag := r.now().Sub(tq)
+				r.probeHist.Observe(lag.Seconds())
 				if confirming == 0 {
 					r.res.RevocationLags = append(r.res.RevocationLags, lag)
 					r.res.SubmitLags = append(r.res.SubmitLags, r.now().Sub(submitAt))
@@ -398,8 +425,12 @@ func (r *runtime) sweepCaches() {
 		r.oracles.SweepCache(r.now(), i, len(retained), len(expired))
 	}
 	for _, m := range r.w.Managers {
-		if te := m.Stats().EffectiveTe; te > r.res.Overload.EffectiveTePeak {
+		te := m.Stats().EffectiveTe
+		if te > r.res.Overload.EffectiveTePeak {
 			r.res.Overload.EffectiveTePeak = te
+		}
+		if max := r.sc.Overload.AdaptiveTe.Max; max > 0 && te >= max && r.res.Overload.TeMaxedAt == 0 {
+			r.res.Overload.TeMaxedAt = r.now().Sub(r.start)
 		}
 	}
 }

@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RegisterBuildInfo registers the standard process-identity families
+// every wanac binary exposes on /metrics:
+//
+//	wanac_build_info{version,go_version} 1
+//	wanac_process_start_time_seconds     <unix seconds>
+//
+// version comes from the module build info when available ("(devel)" or
+// a VCS-stamped version) and "unknown" otherwise. The start time is the
+// first registration on this registry; re-registering is a no-op thanks
+// to get-or-create semantics, so shared registries stay stable across
+// subsystem re-instrumentation.
+func RegisterBuildInfo(r *Registry) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	r.GaugeVec("wanac_build_info",
+		"Build identity of this process; value is always 1.",
+		"version", "go_version").With(version, runtime.Version()).Set(1)
+	g := r.Gauge("wanac_process_start_time_seconds",
+		"Unix time this process's registry first registered build info.")
+	if g.Value() == 0 {
+		g.Set(float64(time.Now().UnixNano()) / 1e9)
+	}
+}

@@ -174,35 +174,18 @@ func escapeLabel(s string) string {
 // type of every family (name -> "counter"|"gauge"|"histogram"|...). It
 // returns an error on the first malformed line, on a sample whose family
 // has no preceding # TYPE declaration, or on a sample value that does
-// not parse as a float.
+// not parse as a float. ParseText is a validation-only view over
+// ParseMetrics (parse.go), which additionally returns every sample.
 func ParseText(r io.Reader) (map[string]string, error) {
-	types := make(map[string]string)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	lineno := 0
-	for sc.Scan() {
-		lineno++
-		line := sc.Text()
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			if err := parseComment(line, types); err != nil {
-				return nil, fmt.Errorf("line %d: %w", lineno, err)
-			}
-			continue
-		}
-		if err := parseSample(line, types); err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineno, err)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	m, err := ParseMetrics(r)
+	if err != nil {
 		return nil, err
 	}
-	return types, nil
+	return m.Types, nil
 }
 
-func parseComment(line string, types map[string]string) error {
+func parseComment(line string, m *Metrics) error {
+	types := m.Types
 	fields := strings.SplitN(line, " ", 4)
 	if len(fields) < 2 {
 		return nil // bare comment
@@ -232,11 +215,15 @@ func parseComment(line string, types map[string]string) error {
 		if !validName(fields[2]) {
 			return fmt.Errorf("invalid metric name %q in HELP line", fields[2])
 		}
+		if len(fields) == 4 {
+			m.Help[fields[2]] = fields[3]
+		}
 	}
 	return nil
 }
 
-func parseSample(line string, types map[string]string) error {
+func parseSample(line string, types map[string]string) (Sample, error) {
+	var out Sample
 	rest := line
 	// Metric name.
 	i := 0
@@ -245,14 +232,17 @@ func parseSample(line string, types map[string]string) error {
 	}
 	name := rest[:i]
 	if !validName(name) {
-		return fmt.Errorf("invalid metric name %q", name)
+		return out, fmt.Errorf("invalid metric name %q", name)
 	}
+	out.Name = name
 	rest = rest[i:]
 	// Optional label set.
 	if strings.HasPrefix(rest, "{") {
-		end, err := scanLabels(rest)
+		end, err := scanLabels(rest, func(k, v string) {
+			out.Labels = append(out.Labels, Label{Name: k, Value: unescapeLabel(v)})
+		})
 		if err != nil {
-			return fmt.Errorf("metric %q: %w", name, err)
+			return out, fmt.Errorf("metric %q: %w", name, err)
 		}
 		rest = rest[end:]
 	}
@@ -262,12 +252,14 @@ func parseSample(line string, types map[string]string) error {
 	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
 		valStr = rest[:sp]
 		if _, err := strconv.ParseInt(strings.TrimSpace(rest[sp+1:]), 10, 64); err != nil {
-			return fmt.Errorf("metric %q: malformed timestamp %q", name, rest[sp+1:])
+			return out, fmt.Errorf("metric %q: malformed timestamp %q", name, rest[sp+1:])
 		}
 	}
-	if _, err := parseValue(valStr); err != nil {
-		return fmt.Errorf("metric %q: malformed value %q", name, valStr)
+	v, err := parseValue(valStr)
+	if err != nil {
+		return out, fmt.Errorf("metric %q: malformed value %q", name, valStr)
 	}
+	out.Value = v
 	// The sample must belong to a declared family. Histogram samples use
 	// the family name plus a _bucket/_sum/_count suffix.
 	base := name
@@ -278,9 +270,9 @@ func parseSample(line string, types map[string]string) error {
 		}
 	}
 	if _, ok := types[base]; !ok {
-		return fmt.Errorf("sample %q has no preceding # TYPE declaration", name)
+		return out, fmt.Errorf("sample %q has no preceding # TYPE declaration", name)
 	}
-	return nil
+	return out, nil
 }
 
 func parseValue(s string) (float64, error) {
@@ -296,8 +288,9 @@ func parseValue(s string) (float64, error) {
 }
 
 // scanLabels validates a {k="v",...} block starting at s[0] == '{' and
-// returns the index just past the closing brace.
-func scanLabels(s string) (int, error) {
+// returns the index just past the closing brace. collect, if non-nil,
+// receives each (name, raw value) pair; the value is still escaped.
+func scanLabels(s string, collect func(name, rawValue string)) (int, error) {
 	i := 1 // past '{'
 	for {
 		if i >= len(s) {
@@ -314,11 +307,13 @@ func scanLabels(s string) (int, error) {
 		if i >= len(s) || !validLabelName(s[start:i]) {
 			return 0, fmt.Errorf("malformed label name in %q", s)
 		}
+		name := s[start:i]
 		i++ // past '='
 		if i >= len(s) || s[i] != '"' {
 			return 0, fmt.Errorf("label value not quoted in %q", s)
 		}
 		i++ // past opening quote
+		vstart := i
 		for i < len(s) && s[i] != '"' {
 			if s[i] == '\\' {
 				i++
@@ -335,6 +330,9 @@ func scanLabels(s string) (int, error) {
 		}
 		if i >= len(s) {
 			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		if collect != nil {
+			collect(name, s[vstart:i])
 		}
 		i++ // past closing quote
 		if i < len(s) && s[i] == ',' {

@@ -49,10 +49,37 @@ go test -race -run TestDebugFlightEndpoint -count=1 ./cmd/acnode
 
 echo "== metrics endpoint smoke"
 # Boots a live two-manager/one-host deployment over TCP, drives a check,
-# scrapes /metrics on host and manager, and fails on malformed exposition
-# or missing metric families (the scrape is validated by telemetry.ParseText
-# inside the test).
+# scrapes /metrics on host and manager, and fails on malformed exposition,
+# missing metric families, or missing build-info/process-start identity
+# (the scrape is validated by telemetry.ParseText inside the test).
 go test -race -run TestMetricsEndpointSmoke -count=1 ./cmd/acnode
+
+echo "== SLO engine (race, repeated)"
+# The burn-rate math every alert rests on: windowed SLI accounting,
+# multi-window fire/clear edges, budget consumption, counter-reset
+# rebaselining, prune bounds, and the exposition of alert states; plus
+# the histogram-merge property test (merged quantiles must equal the
+# quantiles of the concatenated observations, exactly).
+go test -race -count=2 ./internal/slo ./internal/fleet
+
+echo "== concurrent scrape (race, repeated)"
+# /metrics and /health hammered from multiple goroutines while the node
+# serves live checks; every exposition must parse strictly mid-load.
+go test -race -count=2 -run TestConcurrentScrapeRace ./cmd/acnode
+
+echo "== acmon e2e smoke"
+# Live nodes + the fleet aggregator end to end: a revocation propagates,
+# acmon scrapes all nodes, its re-exported exposition parses strictly,
+# /health is green, and the revocation-propagation rollup matches the
+# per-node histograms bucket for bucket (exactness, not estimation).
+go test -race -run 'TestAcmonEndToEnd|TestHealthEndpoint' -count=1 ./cmd/acnode
+
+echo "== scenario SLO regressions (race)"
+# The catalog doubles as an SLO suite: overload-100x must fire the
+# revocation-lag burn alert inside the flood (before adaptive Te
+# exhausts its headroom) and clear it after; steady-baseline must burn
+# no budget at all.
+go test -race -count=1 -run 'TestOverload100xRevocationLagBurnAlert|TestSteadyBaselineBurnsNoBudget' ./internal/scenario
 
 echo "== scenario suite (race, repeated)"
 # Three fast catalog scenarios (steady-baseline, oneway-blackout,
