@@ -103,3 +103,35 @@ func TestCacheHitCheckAllocationBudgetWithFlight(t *testing.T) {
 		t.Error("flight recorder not attached or not recording on the cached path")
 	}
 }
+
+// TestCacheHitCheckAllocationBudgetWithAudit re-runs the cached-check
+// budget with the audit recorder attached. A decision record is built on
+// the stack from evidence already in hand and copied into a pre-allocated
+// ring slot, so provenance — like flight recording — rides the hot path
+// for free and the budget stays 1.
+func TestCacheHitCheckAllocationBudgetWithAudit(t *testing.T) {
+	w, err := sim.Build(sim.Config{
+		Managers: 3, Hosts: 1,
+		Policy:    core.Policy{CheckQuorum: 2, QueryTimeout: time.Second, MaxAttempts: 2},
+		Users:     []wire.UserID{"u"},
+		NoTrace:   true,
+		AuditRing: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := w.CheckSync(0, "u", wire.RightUse, time.Minute); !ok || !d.Allowed {
+		t.Fatal("warm-up check failed")
+	}
+	nop := func(core.Decision) {}
+	host, app := w.Hosts[0], w.Cfg.App
+	allocs := testing.AllocsPerRun(500, func() {
+		host.Check(app, "u", wire.RightUse, nop)
+	})
+	if allocs > 1 {
+		t.Errorf("audited cached check allocates %.1f objects/op, budget is 1 (the fires slice)", allocs)
+	}
+	if rec := w.Audits[sim.HostID(0)]; rec == nil || rec.Total() < 500 {
+		t.Error("audit recorder not attached or not recording on the cached path")
+	}
+}

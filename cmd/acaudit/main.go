@@ -1,0 +1,201 @@
+// Command acaudit answers "why was this check allowed (or denied)?" from
+// recorded evidence. Feed it audit dumps — and, optionally, flight dumps
+// and span streams — from any mix of nodes, and it reconstructs each
+// selected decision causally: the decision record with its evidence (the
+// cache entry and vouching managers, the quorum round and granting set, or
+// the fallback rule and exhausted attempts), the manager response records
+// sharing the check's trace ID, and the flight-recorder timeline and spans
+// of the same check.
+//
+// Collect inputs from a live deployment (/debug/audit, /debug/flight, the
+// -audit.jsonl and -telemetry.jsonl streams) or from a harness/scenario
+// artifact, then:
+//
+//	acaudit h0-audit.jsonl m0-audit.jsonl m1-audit.jsonl
+//	acaudit -user alice -last 1 h0-audit.jsonl m0-audit.jsonl
+//	acaudit -trace 00000000000000a3 h0-audit.jsonl h0-flight.jsonl spans.jsonl
+//	acaudit -at 12:04:05 -window 2s h0-audit.jsonl
+//
+// Input kinds are sniffed from each file's first line (audit dumps lead
+// with an {"audit":1,...} header, flight dumps with {"flight":...}; any
+// other JSONL input is read as a span stream), so the argument order does
+// not matter.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"wanac/internal/audit"
+	"wanac/internal/flight"
+	"wanac/internal/telemetry"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "", "only decisions for this application")
+		user   = flag.String("user", "", "only decisions for this user")
+		node   = flag.String("node", "", "only decisions made by this host")
+		traceS = flag.String("trace", "", "only the decision with this trace ID (hex)")
+		atS    = flag.String("at", "", "only decisions near this time (15:04:05[.000] or RFC3339)")
+		window = flag.Duration("window", time.Second, "half-width of the -at match window")
+		last   = flag.Int("last", 0, "only the most recent N matching decisions (0 = all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: acaudit [filters] audit.jsonl [flight.jsonl] [spans.jsonl] ...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	f := audit.Filter{App: *app, User: *user, Node: *node, Window: *window, Last: *last}
+	if *traceS != "" {
+		tr, err := strconv.ParseUint(*traceS, 16, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -trace %q: %w", *traceS, err))
+		}
+		f.Trace = tr
+	}
+	if *atS != "" {
+		at, err := parseAt(*atS)
+		if err != nil {
+			fatal(err)
+		}
+		f.At = at
+	}
+	if err := run(os.Stdout, f, flag.Args()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acaudit:", err)
+	os.Exit(1)
+}
+
+// parseAt accepts a clock time (today's date assumed, matching the dump's
+// 15:04:05.000 rendering) or a full RFC3339 stamp.
+func parseAt(s string) (time.Time, error) {
+	for _, layout := range []string{time.RFC3339Nano, time.RFC3339} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	for _, layout := range []string{"15:04:05.000", "15:04:05"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			now := time.Now()
+			return time.Date(now.Year(), now.Month(), now.Day(),
+				t.Hour(), t.Minute(), t.Second(), t.Nanosecond(), time.Local), nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("bad -at %q (want 15:04:05[.000] or RFC3339)", s)
+}
+
+func run(w io.Writer, f audit.Filter, paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("no input files given (scrape /debug/audit, or use a harness artifact)")
+	}
+	var audits []*audit.Dump
+	var flights []*flight.Dump
+	var spans []telemetry.Span
+	for _, path := range paths {
+		file, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = sniffRead(file, &audits, &flights, &spans)
+		file.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	if len(audits) == 0 {
+		return fmt.Errorf("no audit dumps among the inputs")
+	}
+	var fl *flight.Dump
+	if len(flights) > 0 {
+		fl = flight.Merge(flights...)
+	}
+	n := audit.Explain(w, audit.Merge(audits...), fl, spans, f)
+	if n == 0 {
+		return fmt.Errorf("no decisions match the filter")
+	}
+	return nil
+}
+
+// sniffRead classifies one JSONL input by its first line and parses it.
+// Audit and flight dumps are self-describing (their headers carry an
+// "audit" or "flight" version key). A line with a "reason" key is an
+// -audit.jsonl record stream — plain records with no header, wrapped here
+// into a headerless dump. Anything else is treated as a span stream.
+func sniffRead(r io.Reader, audits *[]*audit.Dump, flights *[]*flight.Dump, spans *[]telemetry.Span) error {
+	br := bufio.NewReaderSize(r, 64*1024)
+	first, err := br.Peek(64 * 1024)
+	if err != nil && err != io.EOF && err != bufio.ErrBufferFull {
+		return err
+	}
+	if i := bytes.IndexByte(first, '\n'); i >= 0 {
+		first = first[:i]
+	}
+	var head struct {
+		Audit  *int `json:"audit"`
+		Flight *int `json:"flight"`
+		Reason any  `json:"reason"`
+	}
+	if err := json.Unmarshal(first, &head); err != nil {
+		return fmt.Errorf("first line is not JSON: %w", err)
+	}
+	switch {
+	case head.Audit != nil:
+		d, err := audit.ReadDump(br)
+		if err != nil {
+			return err
+		}
+		*audits = append(*audits, d)
+	case head.Flight != nil:
+		d, err := flight.ReadDump(br)
+		if err != nil {
+			return err
+		}
+		*flights = append(*flights, d)
+	case head.Reason != nil:
+		// A headerless audit record stream (-audit.jsonl).
+		d := &audit.Dump{Header: audit.Header{Audit: audit.DumpVersion}}
+		sc := bufio.NewScanner(br)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var rec audit.Record
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				return fmt.Errorf("audit record stream: %w", err)
+			}
+			d.Records = append(d.Records, rec)
+			if rec.Kind == audit.KindDecision {
+				d.Header.Decisions++
+			}
+			d.Header.Total++
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		if len(d.Records) > 0 {
+			d.Header.Nodes = []string{d.Records[0].Node}
+		}
+		*audits = append(*audits, d)
+	default:
+		ss, err := telemetry.ReadSpans(br)
+		if err != nil {
+			return err
+		}
+		*spans = append(*spans, ss...)
+	}
+	return nil
+}

@@ -11,7 +11,7 @@ import (
 )
 
 // TestAcchkCLI builds and runs the checker binary both clean (exit 0, JSON
-// report with all four oracles) and with an injected bug (exit 1, at least
+// report with all five oracles) and with an injected bug (exit 1, at least
 // one failure carrying a replay line).
 func TestAcchkCLI(t *testing.T) {
 	root, err := filepath.Abs("../..")
@@ -34,7 +34,7 @@ func TestAcchkCLI(t *testing.T) {
 		if err := json.Unmarshal(out, &report); err != nil {
 			t.Fatalf("report is not valid JSON: %v\n%s", err, out)
 		}
-		if report.Scenarios != 5 || len(report.Oracles) != 4 || len(report.Failures) != 0 {
+		if report.Scenarios != 5 || len(report.Oracles) != 5 || len(report.Failures) != 0 {
 			t.Fatalf("unexpected report: %+v", report)
 		}
 	})

@@ -22,6 +22,11 @@
 //	/debug/check  (hosts) run an access check: ?app=stocks&user=alice&right=use
 //	/debug/flight the node's flight recording as versioned JSONL (feed the
 //	              dumps from several nodes to acflight for a merged timeline)
+//	/debug/audit  the node's audit ring as versioned JSONL: one structured
+//	              record per access decision (hosts) or query verdict
+//	              (managers), carrying the evidence behind the outcome —
+//	              feed dumps to acaudit (or acctl explain) for causal
+//	              "why was this allowed" explanations
 //	/metrics      Prometheus text exposition: check latency histograms by
 //	              outcome, quorum/freeze gauges, transport health
 //	/health       readiness probe: 200 when the transport reaches a peer
@@ -31,6 +36,9 @@
 // Every node keeps an always-on flight recorder: a bounded in-memory ring
 // of protocol events and transport health transitions, dumped on demand
 // (/debug/flight, acctl flight) or automatically when the node panics.
+// An always-on audit ring rides alongside it (sized with -audit.ring);
+// with -audit.jsonl set, every audit record is additionally streamed to
+// the given file as it is accepted, surviving the bounded ring.
 // Logging is structured (log/slog) and tunable with -log.level and
 // -log.format.
 //
@@ -59,6 +67,7 @@ import (
 	"time"
 
 	"wanac"
+	"wanac/internal/audit"
 	"wanac/internal/auth"
 	"wanac/internal/core"
 	"wanac/internal/flight"
@@ -91,6 +100,8 @@ func main() {
 	flag.StringVar(&cfg.spanPath, "telemetry.jsonl", "", "stream check-round spans to this JSONL file")
 	flag.IntVar(&cfg.flightRing, "flight.ring", defaultFlightRing, "flight recorder ring capacity (records kept per node)")
 	flag.StringVar(&cfg.flightDump, "flight.dump", "", "write the flight recording here on panic (default: acnode-flight-<id>.jsonl in the temp dir)")
+	flag.IntVar(&cfg.auditRing, "audit.ring", defaultAuditRing, "audit ring capacity (decision-provenance records kept per node)")
+	flag.StringVar(&cfg.auditPath, "audit.jsonl", "", "stream every audit record to this JSONL file (in addition to the bounded ring)")
 	flag.StringVar(&cfg.logLevel, "log.level", "info", "log level: debug | info | warn | error")
 	flag.StringVar(&cfg.logFormat, "log.format", "text", "log format: text | json")
 	flag.Parse()
@@ -108,6 +119,10 @@ func main() {
 // on a busy node at a cost of a few MB.
 const defaultFlightRing = 4096
 
+// defaultAuditRing holds the provenance of the last few minutes of access
+// decisions at a comparable cost.
+const defaultAuditRing = 4096
+
 type nodeConfig struct {
 	id, listen, role, app, peers  string
 	c, r                          int
@@ -119,6 +134,8 @@ type nodeConfig struct {
 	spanPath                      string
 	flightRing                    int
 	flightDump                    string
+	auditRing                     int
+	auditPath                     string
 	logLevel, logFormat           string
 }
 
@@ -152,12 +169,16 @@ type runtime struct {
 	mgr    *core.Manager
 	reg    *telemetry.Registry
 	flight *flight.Recorder
+	audit  *audit.Recorder
 
 	saveState func()
 	stopDebug func()
 	spanFile  *os.File
 	spanBuf   *bufio.Writer
 	spanW     *telemetry.SpanWriter
+	auditFile *os.File
+	auditBuf  *bufio.Writer
+	auditW    *audit.Writer
 }
 
 // Close releases everything startNode acquired: debug server, span
@@ -176,6 +197,18 @@ func (rt *runtime) Close() {
 			slog.Error("telemetry: flush spans failed", "err", err)
 		}
 		rt.spanFile.Close()
+	}
+	if rt.auditFile != nil {
+		// Detach the sink before flushing so late decisions can't race the
+		// buffer; the ring itself keeps accepting until the node is gone.
+		rt.audit.SetSink(nil)
+		if rt.auditW.Errors() > 0 {
+			slog.Error("audit: records failed to encode", "count", rt.auditW.Errors())
+		}
+		if err := rt.auditBuf.Flush(); err != nil {
+			slog.Error("audit: flush records failed", "err", err)
+		}
+		rt.auditFile.Close()
 	}
 	rt.node.Close()
 }
@@ -255,6 +288,13 @@ func startNode(cfg nodeConfig) (*runtime, error) {
 		cfg.flightRing = defaultFlightRing
 	}
 	rec := flight.NewRecorder(cfg.id, cfg.flightRing, nil)
+	// The audit ring is equally always-on: every access decision (hosts)
+	// and query verdict (managers) leaves a provenance record, served via
+	// /debug/audit and joined by acaudit/acctl explain.
+	if cfg.auditRing <= 0 {
+		cfg.auditRing = defaultAuditRing
+	}
+	auditRec := audit.NewRecorder(cfg.id, cfg.auditRing, nil)
 
 	var opts []wanac.Option
 	if cfg.statsEvery > 0 {
@@ -267,7 +307,7 @@ func startNode(cfg nodeConfig) (*runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := &runtime{node: node, reg: telemetry.NewRegistry(), flight: rec}
+	rt := &runtime{node: node, reg: telemetry.NewRegistry(), flight: rec, audit: auditRec}
 	telemetry.RegisterBuildInfo(rt.reg)
 	fail := func(err error) (*runtime, error) {
 		rt.Close()
@@ -302,6 +342,17 @@ func startNode(cfg nodeConfig) (*runtime, error) {
 		spans = rt.spanW
 		slog.Info("streaming check spans", "node", cfg.id, "path", cfg.spanPath)
 	}
+	if cfg.auditPath != "" {
+		f, err := os.Create(cfg.auditPath)
+		if err != nil {
+			return fail(fmt.Errorf("audit.jsonl: %w", err))
+		}
+		rt.auditFile = f
+		rt.auditBuf = bufio.NewWriter(f)
+		rt.auditW = audit.NewWriter(rt.auditBuf)
+		auditRec.SetSink(rt.auditW)
+		slog.Info("streaming audit records", "node", cfg.id, "path", cfg.auditPath)
+	}
 
 	switch cfg.role {
 	case "manager":
@@ -322,6 +373,7 @@ func startNode(cfg nodeConfig) (*runtime, error) {
 			mgr.Seed(wire.AppID(cfg.app), u, wire.RightUse)
 		}
 		core.InstrumentManager(rt.reg, spans, mgr)
+		mgr.SetAudit(auditRec)
 		if cfg.stateFile != "" {
 			if f, err := os.Open(cfg.stateFile); err == nil {
 				loadErr := mgr.LoadState(f)
@@ -374,6 +426,7 @@ func startNode(cfg nodeConfig) (*runtime, error) {
 			return fail(err)
 		}
 		core.InstrumentHost(rt.reg, spans, rt.host)
+		rt.host.SetAudit(auditRec)
 		node.SetHandler(rt.host)
 	default:
 		return fail(fmt.Errorf("unknown role %q", cfg.role))
@@ -429,6 +482,12 @@ func startDebugServer(addr string, rt *runtime, app wire.AppID) (func(), error) 
 		w.Header().Set("Content-Type", "application/jsonl")
 		if err := rt.flight.WriteDump(w); err != nil {
 			slog.Error("flight dump write failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		if err := rt.audit.WriteDump(w); err != nil {
+			slog.Error("audit dump write failed", "err", err)
 		}
 	})
 	if rt.host != nil {

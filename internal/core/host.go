@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wanac/internal/acl"
+	"wanac/internal/audit"
 	"wanac/internal/auth"
 	"wanac/internal/telemetry"
 	"wanac/internal/trace"
@@ -51,6 +52,10 @@ type Host struct {
 	// check-lifecycle spans (see telemetry.go). Nil outside instrumented
 	// runs; every hook is nil-guarded so the unused cost is one branch.
 	tel *HostTelemetry
+	// aud, when set, receives one provenance record per decision at the
+	// same call sites as the stats/counters (see audit.go). Nil-guarded
+	// like tel.
+	aud *audit.Recorder
 }
 
 // firing is one deferred callback invocation. raw takes precedence over
@@ -105,7 +110,10 @@ type check struct {
 	queried   int // managers queried in the current round
 	grantedBy map[wire.NodeID]struct{}
 	denials   int
-	frozen    bool
+	// backoffs counts busy/backoff deferrals over the check's lifetime
+	// (audit evidence; deferrals do not consume R attempts).
+	backoffs int
+	frozen   bool
 	sentAt    time.Time
 	minExpire time.Duration
 	timer     TimerHandle
@@ -215,22 +223,45 @@ func (h *Host) checkLocked(app wire.AppID, user wire.UserID, right wire.Right, c
 	now := h.env.Now()
 	a, ok := h.apps[app]
 	if !ok || !right.Valid() {
-		h.recordDecision(Decision{}, now)
+		h.recordDecision(Decision{}, now, audit.ReasonUnregisteredDeny)
+		h.emit(trace.EventAccessDenied, app, user, "unregistered")
+		if h.aud != nil {
+			h.aud.Record(audit.Record{
+				Kind: audit.KindDecision, T: now,
+				App: string(app), User: string(user), Right: right.String(),
+				Reason: audit.ReasonUnregisteredDeny,
+			})
+		}
 		h.fire(cb, Decision{})
 		return
 	}
 	if entry, st := h.cache.LookupStatus(app, user, right, now); st == acl.Hit {
-		h.emit(trace.EventCacheHit, app, user, "")
-		h.emit(trace.EventAccessAllowed, app, user, "cached")
-		h.recordDecision(Decision{Allowed: true, CacheHit: true}, now)
-		if h.tel.spanning() {
-			// Cache hits never touch the wire, so mint a local trace ID
-			// from the nonce sequence (never reused by query rounds).
+		// Cache hits never touch the wire; when spans or audit records
+		// need a correlation ID, mint a local one from the nonce sequence
+		// (never reused by query rounds). Zero otherwise, matching the
+		// untraced event shape.
+		var tid uint64
+		if h.aud != nil || h.tel.spanning() {
 			h.nonce++
+			tid = h.nonce
+		}
+		h.emitT(trace.EventCacheHit, app, user, tid, "")
+		h.emitT(trace.EventAccessAllowed, app, user, tid, "cached")
+		h.recordDecision(Decision{Allowed: true, CacheHit: true}, now, audit.ReasonCacheHit)
+		if h.tel.spanning() {
 			h.tel.span(telemetry.Span{
-				Trace: h.nonce, Node: string(h.id), Kind: "decision",
+				Trace: tid, Node: string(h.id), Kind: "decision",
 				Time: now, App: string(app), User: string(user),
 				Right: right.String(), Note: outcomeNames[outcomeCacheHit],
+			})
+		}
+		if h.aud != nil {
+			h.aud.Record(audit.Record{
+				Kind: audit.KindDecision, T: now, Trace: tid,
+				App: string(app), User: string(user), Right: right.String(),
+				Reason: audit.ReasonCacheHit, Allowed: true,
+				Granters: h.cache.Granters(app, user, right),
+				Expiry:   entry.Limit,
 			})
 		}
 		h.fire(cb, Decision{Allowed: true, CacheHit: true})
@@ -287,6 +318,7 @@ func (h *Host) checkLocked(app wire.AppID, user wire.UserID, right wire.Right, c
 // reused — so a stale timer can never restart a foreign check.
 func (h *Host) deferCheck(a *hostApp, c *check, delay time.Duration) {
 	h.stats.Backoffs++
+	c.backoffs++
 	if h.tel != nil {
 		h.tel.backoffs.Inc()
 	}
@@ -303,7 +335,8 @@ func (h *Host) deferCheck(a *hostApp, c *check, delay time.Duration) {
 			}
 			a, ok := h.apps[key.app]
 			if !ok {
-				h.finish(c, Decision{})
+				h.emitT(trace.EventAccessDenied, key.app, key.user, c.trace, "unregistered")
+				h.finish(c, Decision{}, audit.ReasonUnregisteredDeny)
 				return
 			}
 			h.startRound(a, c)
@@ -483,7 +516,8 @@ func (h *Host) onQueryTimeout(nonce uint64) {
 	delete(h.pending, nonce)
 	a, ok := h.apps[c.key.app]
 	if !ok {
-		h.finish(c, Decision{})
+		h.emitT(trace.EventAccessDenied, c.key.app, c.key.user, c.trace, "unregistered")
+		h.finish(c, Decision{}, audit.ReasonUnregisteredDeny)
 		return
 	}
 	h.stats.QueryTimeouts++
@@ -515,19 +549,24 @@ func (h *Host) retryOrGiveUp(a *hostApp, c *check) {
 			h.finish(c, Decision{
 				Allowed: true, DefaultAllowed: true,
 				Attempts: c.attempts, Frozen: c.frozen,
-			})
+			}, audit.ReasonDefaultAllow)
 			return
 		}
 		h.emitT(trace.EventAccessDenied, c.key.app, c.key.user, c.trace, "unreachable")
-		h.finish(c, Decision{Attempts: c.attempts, Frozen: c.frozen})
+		h.finish(c, Decision{Attempts: c.attempts, Frozen: c.frozen}, audit.ReasonUnreachableDeny)
 		return
 	}
 	h.startRound(a, c)
 }
 
 // finish resolves a check, queues its callbacks, and recycles the struct.
-func (h *Host) finish(c *check, d Decision) {
-	h.recordDecision(d, c.born)
+// reason is the audit provenance of the decision; the matching record is
+// emitted before the check's evidence is recycled away.
+func (h *Host) finish(c *check, d Decision, reason audit.Reason) {
+	h.recordDecision(d, c.born, reason)
+	if h.aud != nil {
+		h.auditFinish(c, d, reason)
+	}
 	if h.tel.spanning() {
 		now := h.env.Now()
 		h.tel.span(telemetry.Span{
@@ -646,7 +685,7 @@ func (h *Host) onResponse(from wire.NodeID, m wire.Response) {
 			// checks, where a valid entry is still cached).
 			h.cache.Remove(c.key.app, c.key.user, c.key.right)
 			h.emitT(trace.EventAccessDenied, c.key.app, c.key.user, c.trace, "revoked")
-			h.finish(c, Decision{Attempts: c.attempts, Frozen: c.frozen})
+			h.finish(c, Decision{Attempts: c.attempts, Frozen: c.frozen}, audit.ReasonQuorumDeny)
 		}
 	}
 }
@@ -672,7 +711,7 @@ func (h *Host) grant(c *check) {
 		Confirmations: len(c.grantedBy),
 		Attempts:      c.attempts,
 		Frozen:        c.frozen,
-	})
+	}, audit.ReasonQuorumAllow)
 }
 
 func (h *Host) onRevokeNotice(from wire.NodeID, m wire.RevokeNotice) {
@@ -750,7 +789,8 @@ func (h *Host) resolveManagers(a *hostApp, app wire.AppID) {
 		if a.nameService == "" {
 			// No managers and no name service: deny all waiting checks.
 			for _, c := range a.waiting {
-				h.finish(c, Decision{})
+				h.emitT(trace.EventAccessDenied, app, c.key.user, c.trace, "resolve-failed")
+				h.finish(c, Decision{}, audit.ReasonResolveDeny)
 			}
 			a.waiting = nil
 		}
@@ -777,10 +817,11 @@ func (h *Host) onResolveTimeout(a *hostApp, app wire.AppID) {
 		if a.policy.MaxAttempts > 0 && c.attempts >= a.policy.MaxAttempts {
 			if a.policy.DefaultAllow {
 				h.emitT(trace.EventAccessDefault, app, c.key.user, c.trace, "resolve-failed")
-				h.finish(c, Decision{Allowed: true, DefaultAllowed: true, Attempts: c.attempts})
+				h.finish(c, Decision{Allowed: true, DefaultAllowed: true, Attempts: c.attempts},
+					audit.ReasonResolveAllow)
 			} else {
 				h.emitT(trace.EventAccessDenied, app, c.key.user, c.trace, "resolve-failed")
-				h.finish(c, Decision{Attempts: c.attempts})
+				h.finish(c, Decision{Attempts: c.attempts}, audit.ReasonResolveDeny)
 			}
 			continue
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wanac/internal/acl"
+	"wanac/internal/audit"
 	"wanac/internal/auth"
 	"wanac/internal/ratelimit"
 	"wanac/internal/trace"
@@ -37,6 +38,9 @@ type Manager struct {
 	// tel, when set, mirrors the stats counters into a telemetry registry
 	// and records per-query spans (see telemetry.go). Nil-guarded hooks.
 	tel *ManagerTelemetry
+	// aud, when set, records one response-kind audit entry per query
+	// verdict (see audit.go). Nil-guarded like tel.
+	aud *audit.Recorder
 }
 
 // mgrApp is the per-application dissemination and grant-tracking state.
@@ -609,6 +613,9 @@ func (m *Manager) onQuery(from wire.NodeID, q wire.Query) {
 			m.querySpan(from, q, "unknown-app")
 		}
 		m.emitServed(from, q, "unknown-app")
+		if m.aud != nil {
+			m.auditResponse(nil, from, q, audit.ReasonQueryUnknownApp)
+		}
 		m.env.Send(from, wire.Response{App: q.App, User: q.User, Right: q.Right, Nonce: q.Nonce, Trace: q.Trace})
 		return
 	}
@@ -621,6 +628,9 @@ func (m *Manager) onQuery(from wire.NodeID, q wire.Query) {
 			}
 		}
 		m.emitServed(from, q, "frozen")
+		if m.aud != nil {
+			m.auditResponse(ma, from, q, audit.ReasonQueryFrozen)
+		}
 		m.env.Send(from, wire.Response{
 			App: q.App, User: q.User, Right: q.Right, Nonce: q.Nonce, Frozen: true, Trace: q.Trace,
 		})
@@ -646,6 +656,13 @@ func (m *Manager) onQuery(from wire.NodeID, q wire.Query) {
 		m.emitServed(from, q, "granted")
 	} else {
 		m.emitServed(from, q, "denied")
+	}
+	if m.aud != nil {
+		if granted {
+			m.auditResponse(ma, from, q, audit.ReasonQueryGranted)
+		} else {
+			m.auditResponse(ma, from, q, audit.ReasonQueryDenied)
+		}
 	}
 	resp := wire.Response{
 		App: q.App, User: q.User, Right: q.Right, Nonce: q.Nonce, Granted: granted, Trace: q.Trace,
@@ -722,6 +739,9 @@ func (m *Manager) shedQuery(ma *mgrApp, from wire.NodeID, q wire.Query) {
 			App: q.App, User: q.User, Trace: q.Trace,
 			Note: "host=" + string(from) + " retry=" + retry.String(),
 		})
+	}
+	if m.aud != nil {
+		m.auditResponse(ma, from, q, audit.ReasonQueryShed)
 	}
 	m.env.Send(from, wire.Busy{App: q.App, Nonce: q.Nonce, RetryAfter: retry, Trace: q.Trace})
 }

@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"wanac/internal/audit"
+)
 
 // Operational metrics. These are cheap monotonic counters maintained inline
 // by the nodes (unlike the trace.Collector, which retains full events);
@@ -111,8 +115,11 @@ func (m *Manager) Stats() ManagerStats {
 
 // recordDecision tallies a finished check; must be called with h.mu held.
 // born is when the check began (for the latency histograms); the zero
-// time records a zero latency.
-func (h *Host) recordDecision(d Decision, born time.Time) {
+// time records a zero latency. reason refines the outcome with the
+// decision's provenance (wanac_host_check_reasons_total): summed over the
+// reasons of one outcome it equals that outcome's counter, an equality
+// audit_test.go pins.
+func (h *Host) recordDecision(d Decision, born time.Time, reason audit.Reason) {
 	h.stats.Checks++
 	idx := outcomeIndex(d)
 	switch idx {
@@ -127,6 +134,9 @@ func (h *Host) recordDecision(d Decision, born time.Time) {
 	}
 	if h.tel != nil {
 		h.tel.checks[idx].Inc()
+		if rc := h.tel.reasons[reason]; rc != nil {
+			rc.Inc()
+		}
 		observeSince(h.tel.latency[idx], born, h.env.Now())
 	}
 }

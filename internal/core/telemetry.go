@@ -16,6 +16,7 @@ package core
 import (
 	"time"
 
+	"wanac/internal/audit"
 	"wanac/internal/telemetry"
 	"wanac/internal/wire"
 )
@@ -48,7 +49,10 @@ func outcomeIndex(d Decision) int {
 // HostTelemetry holds a host's pre-resolved metric handles and optional
 // span recorder. Install with Host.SetTelemetry or InstrumentHost.
 type HostTelemetry struct {
-	checks      [outcomeCount]*telemetry.Counter
+	checks [outcomeCount]*telemetry.Counter
+	// reasons refines checks by audit provenance, indexed by
+	// audit.Reason (decision reasons only; other slots stay nil).
+	reasons     [audit.NumReasons]*telemetry.Counter
 	latency     [outcomeCount]*telemetry.Histogram
 	rounds      *telemetry.Counter
 	timeouts    *telemetry.Counter
@@ -70,6 +74,9 @@ func NewHostTelemetry(reg *telemetry.Registry, spans telemetry.SpanRecorder) *Ho
 		t.checks[i] = checks.With(name)
 		t.latency[i] = latency.With(name)
 	}
+	for r, c := range reasonCounters(reg) {
+		t.reasons[r] = c
+	}
 	t.rounds = reg.Counter("wanac_host_query_rounds_total",
 		"Query rounds started (each fans out to C or all managers).")
 	t.timeouts = reg.Counter("wanac_host_query_timeouts_total",
@@ -81,6 +88,34 @@ func NewHostTelemetry(reg *telemetry.Registry, spans telemetry.SpanRecorder) *Ho
 	t.backoffs = reg.Counter("wanac_host_backoffs_total",
 		"Check rounds deferred by admission backoff.")
 	return t
+}
+
+// reasonCounters resolves the per-reason decision counter family in reg,
+// one handle per decision reason (non-decision slots stay nil). Both the
+// hot-path telemetry and post-run readers resolve through here, so they
+// always see the same handles.
+func reasonCounters(reg *telemetry.Registry) [audit.NumReasons]*telemetry.Counter {
+	vec := reg.CounterVec("wanac_host_check_reasons_total",
+		"Completed access decisions by audit reason (refines wanac_host_checks_total with per-decision provenance).", "reason")
+	var out [audit.NumReasons]*telemetry.Counter
+	for _, r := range audit.DecisionReasons {
+		out[r] = vec.With(r.String())
+	}
+	return out
+}
+
+// ReasonCounts reads the per-reason decision counters accumulated in reg,
+// summed across every host instrumented there. The counters are bumped at
+// decision time, so — unlike the bounded audit rings — the counts are exact
+// even when rings dropped records. All-zero when no host was instrumented.
+func ReasonCounts(reg *telemetry.Registry) map[audit.Reason]uint64 {
+	out := make(map[audit.Reason]uint64, len(audit.DecisionReasons))
+	for r, c := range reasonCounters(reg) {
+		if c != nil {
+			out[audit.Reason(r)] = c.Value()
+		}
+	}
+	return out
 }
 
 // CheckLatency returns the check-latency histogram for an outcome

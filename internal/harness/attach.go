@@ -3,6 +3,7 @@ package harness
 import (
 	"time"
 
+	"wanac/internal/audit"
 	"wanac/internal/trace"
 	"wanac/internal/wire"
 )
@@ -11,28 +12,34 @@ import (
 // for a confirmed access before declaring a liveness violation.
 const AvailabilityWindow = 60 * time.Second
 
-// OracleSet bundles the four harness invariant oracles behind one facade so
+// OracleSet bundles the five harness invariant oracles behind one facade so
 // other drivers (internal/scenario's named scenarios, most importantly)
 // attach exactly the checks the harness uses — same bounds, same
 // jurisdiction rules — instead of reimplementing them. The driver feeds
 // observations through the Judge/Sweep/Arm methods while it runs, calls
-// AnalyzeTrace once afterwards, and reads Reports/Violations.
+// AnalyzeTrace (and, when audit rings were enabled, AnalyzeAudit) once
+// afterwards, and reads Reports/Violations.
 type OracleSet struct {
 	rev   *revocationOracle
 	seq   *sequencingOracle
 	cache *cacheOracle
 	avail *availabilityOracle
+	aud   *auditOracle
 }
 
-// NewOracleSet creates the four oracles for one scenario execution. te and
+// NewOracleSet creates the five oracles for one scenario execution. te and
 // queryTimeout parameterize the revocation-safety bound (Te + QueryTimeout);
-// cacheLimit bounds host caches for the hygiene oracle (0 means unbounded).
-func NewOracleSet(te, queryTimeout time.Duration, cacheLimit int) *OracleSet {
+// cacheLimit bounds host caches for the hygiene oracle (0 means unbounded);
+// checkQuorum and maxAttempts parameterize the audit-completeness oracle's
+// evidence checks (a quorum allow must cite >= checkQuorum confirmations, a
+// default outcome must cite maxAttempts exhausted rounds).
+func NewOracleSet(te, queryTimeout time.Duration, cacheLimit, checkQuorum, maxAttempts int) *OracleSet {
 	return &OracleSet{
 		rev:   newRevocationOracle(te, queryTimeout),
 		seq:   newSequencingOracle(),
 		cache: newCacheOracle(cacheLimit),
 		avail: newAvailabilityOracle(),
+		aud:   newAuditOracle(te, checkQuorum, maxAttempts),
 	}
 }
 
@@ -75,10 +82,22 @@ func (s *OracleSet) AnalyzeTrace(events []trace.Event, quorumAt map[wire.UpdateS
 	s.seq.analyze(events, quorumAt)
 }
 
+// AnalyzeAudit runs the audit-completeness oracle's post-hoc pass: every
+// decision event in the trace must have a matching audit record (modulo
+// bounded ring drops, which the dump headers account for exactly), and each
+// record's evidence must be internally consistent with its reason. dumps are
+// per-node, unmerged (drop accounting and ring order are per node). With no
+// dumps the oracle simply reports zero observations, so drivers that leave
+// audit rings off stay green.
+func (s *OracleSet) AnalyzeAudit(events []trace.Event, dumps []*audit.Dump) {
+	s.aud.analyze(events, dumps)
+}
+
 // All returns the oracles in canonical report order: revocation-safety,
-// monotonic-sequencing, cache-hygiene, eventual-availability.
+// monotonic-sequencing, cache-hygiene, eventual-availability,
+// audit-completeness.
 func (s *OracleSet) All() []Oracle {
-	return []Oracle{s.rev, s.seq, s.cache, s.avail}
+	return []Oracle{s.rev, s.seq, s.cache, s.avail, s.aud}
 }
 
 // Reports summarizes every oracle's observation and violation counts, in

@@ -207,8 +207,8 @@ func TestSuiteReportShape(t *testing.T) {
 	if !report.Passed() {
 		t.Fatalf("clean seeds reported failure: %+v", report.Failures)
 	}
-	if len(report.Oracles) != 4 {
-		t.Fatalf("got %d oracle reports, want 4", len(report.Oracles))
+	if len(report.Oracles) != 5 {
+		t.Fatalf("got %d oracle reports, want 5", len(report.Oracles))
 	}
 	names := map[string]bool{}
 	for _, o := range report.Oracles {

@@ -1,16 +1,20 @@
 package harness
 
 // Minimize shrinks a failing scenario's event schedule to a smaller one
-// that still triggers at least one violation, using ddmin-style delta
-// debugging: partition the schedule into chunks, try dropping each chunk,
-// keep any reduction that still fails, and refine the granularity when no
-// chunk can be dropped. Because each trial replays the deterministic
-// simulator, "still fails" is an exact predicate, not a probability.
+// that still fails the same way, using ddmin-style delta debugging:
+// partition the schedule into chunks, try dropping each chunk, keep any
+// reduction that still fails, and refine the granularity when no chunk can
+// be dropped. "Fails the same way" means every oracle that fired on the
+// full scenario still fires on the candidate — a reduction that trades a
+// revocation-safety breach for an unrelated audit complaint is a different
+// bug, not a smaller reproduction. Because each trial replays the
+// deterministic simulator, the predicate is exact, not a probability.
 //
 // budget caps the number of scenario re-executions (each trial simulates
 // the full virtual horizon); when it runs out the best reduction so far is
 // returned. A non-failing input is returned unchanged.
 func Minimize(sc Scenario, opt Options, budget int) Scenario {
+	var want map[string]bool
 	fails := func(events []Event) bool {
 		if budget <= 0 {
 			return false
@@ -19,7 +23,25 @@ func Minimize(sc Scenario, opt Options, budget int) Scenario {
 		trial := sc
 		trial.Events = events
 		res, err := RunScenario(trial, opt)
-		return err == nil && res.Failed()
+		if err != nil || !res.Failed() {
+			return false
+		}
+		got := make(map[string]bool)
+		for _, v := range res.Violations {
+			got[v.Oracle] = true
+		}
+		if want == nil {
+			// First run (the full scenario) establishes the failure
+			// signature every reduction must preserve.
+			want = got
+			return true
+		}
+		for name := range want {
+			if !got[name] {
+				return false
+			}
+		}
+		return true
 	}
 	if !fails(sc.Events) {
 		return sc

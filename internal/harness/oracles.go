@@ -2,8 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
+	"wanac/internal/audit"
 	"wanac/internal/trace"
 	"wanac/internal/wire"
 )
@@ -14,6 +16,7 @@ const (
 	OracleSequencing   = "monotonic-sequencing"
 	OracleCache        = "cache-hygiene"
 	OracleAvailability = "eventual-availability"
+	OracleAudit        = "audit-completeness"
 )
 
 // Violation is one invariant breach detected by an oracle.
@@ -224,4 +227,214 @@ func (o *availabilityOracle) judge(pr *Probe, at time.Time, window time.Duration
 	}
 	o.fail(at, "host h%d never confirmed access for stable user %s within %s of heal",
 		pr.Host, pr.User, window)
+}
+
+// auditOracle checks decision provenance (internal/audit), two ways at
+// once. Completeness: every decision event in the trace has exactly one
+// audit record — matched per host, in order, on (time, app, user) and on
+// the reason the event's note implies; when a bounded ring dropped
+// records, the retained suffix must still line up and the ring's accepted
+// total must equal the trace's decision count. Consistency: each record's
+// evidence must support its own reason under the scenario's parameters —
+// a cache hit must cite at least one granting manager and an entry
+// expiring within the revocation bound te (a stale-allow leak surfaces
+// here as a record citing an expired-but-within-Te grant whose residual
+// lifetime exceeds te), a quorum allow must cite C confirmations and a
+// granted te within the bound, a quorum deny must cite enough denials to
+// make C grants impossible, and a default-rule fallback must cite the
+// attempts that exhausted R (Figure 4).
+type auditOracle struct {
+	oracleState
+	te          time.Duration // max legal residual grant lifetime
+	quorum      int           // the policy's check quorum C
+	maxAttempts int           // the policy's attempt budget R
+}
+
+func newAuditOracle(te time.Duration, quorum, maxAttempts int) *auditOracle {
+	return &auditOracle{
+		oracleState: oracleState{name: OracleAudit},
+		te:          te,
+		quorum:      quorum,
+		maxAttempts: maxAttempts,
+	}
+}
+
+// reasonForEvent maps a decision event to the audit reason its note
+// implies. ok is false for non-decision events.
+func reasonForEvent(e trace.Event) (r audit.Reason, ok bool) {
+	switch e.Type {
+	case trace.EventAccessAllowed:
+		if e.Note == "cached" {
+			return audit.ReasonCacheHit, true
+		}
+		return audit.ReasonQuorumAllow, true
+	case trace.EventAccessDefault:
+		if e.Note == "resolve-failed" {
+			return audit.ReasonResolveAllow, true
+		}
+		return audit.ReasonDefaultAllow, true
+	case trace.EventAccessDenied:
+		switch e.Note {
+		case "revoked":
+			return audit.ReasonQuorumDeny, true
+		case "unreachable":
+			return audit.ReasonUnreachableDeny, true
+		case "resolve-failed":
+			return audit.ReasonResolveDeny, true
+		case "unregistered":
+			return audit.ReasonUnregisteredDeny, true
+		}
+		// Unknown note: still a decision; the reason check degrades to
+		// outcome-class agreement.
+		return 0, true
+	}
+	return 0, false
+}
+
+// analyze runs the post-hoc pass: events is the full recorded trace,
+// dumps one audit dump per node (unmerged — per-node drop accounting and
+// ring order are load-bearing). A nil dumps slice means audit recording
+// was off and the pass is skipped.
+func (o *auditOracle) analyze(events []trace.Event, dumps []*audit.Dump) {
+	if len(dumps) == 0 {
+		return
+	}
+	// Group the trace's decision events per node, preserving order.
+	byNode := make(map[string][]trace.Event)
+	for _, e := range events {
+		if _, ok := reasonForEvent(e); ok {
+			node := string(e.Node)
+			byNode[node] = append(byNode[node], e)
+		}
+	}
+	for _, d := range dumps {
+		if len(d.Header.Nodes) != 1 {
+			o.fail(time.Time{}, "audit dump covers nodes %v, want exactly one", d.Header.Nodes)
+			continue
+		}
+		node := d.Header.Nodes[0]
+		evs := byNode[node]
+		delete(byNode, node)
+		var recs []audit.Record
+		for _, r := range d.Records {
+			if r.Kind == audit.KindDecision {
+				recs = append(recs, r)
+			}
+		}
+		if len(evs) == 0 && d.Header.Decisions == 0 {
+			continue
+		}
+		// Exact count: the ring's accepted total survives drops.
+		if d.Header.Decisions != uint64(len(evs)) {
+			o.obs++
+			o.fail(lastTime(evs), "node %s: %d decision events in trace but %d audit records accepted",
+				node, len(evs), d.Header.Decisions)
+			continue
+		}
+		// Retained records are the newest suffix of the decision history.
+		start := len(evs) - len(recs)
+		if start < 0 {
+			o.obs++
+			o.fail(lastTime(evs), "node %s retained %d audit records for %d decisions", node, len(recs), len(evs))
+			continue
+		}
+		for i := range recs {
+			o.judgeRecord(&recs[i], evs[start+i])
+		}
+	}
+	for node, evs := range byNode {
+		if len(evs) > 0 {
+			o.obs++
+			o.fail(evs[0].Time, "node %s made %d decisions but has no audit ring", node, len(evs))
+		}
+	}
+}
+
+func lastTime(evs []trace.Event) time.Time {
+	if len(evs) == 0 {
+		return time.Time{}
+	}
+	return evs[len(evs)-1].Time
+}
+
+// judgeRecord checks one record against its paired trace event
+// (completeness) and against its own evidence (consistency).
+func (o *auditOracle) judgeRecord(r *audit.Record, e trace.Event) {
+	o.obs++
+	want, _ := reasonForEvent(e)
+	if r.App != string(e.App) || r.User != string(e.User) || !r.T.Equal(e.Time) {
+		o.fail(e.Time, "node %s: audit record (app=%s user=%s t=%s) does not match decision event (app=%s user=%s t=%s)",
+			r.Node, r.App, r.User, r.T.Format("15:04:05.000"),
+			e.App, e.User, e.Time.Format("15:04:05.000"))
+		return
+	}
+	if want != 0 && r.Reason != want {
+		o.fail(e.Time, "node %s: audit record says %s but trace event %s/%q implies %s",
+			r.Node, r.Reason, e.Type, e.Note, want)
+		return
+	}
+	if r.Allowed != r.Reason.Allowed() {
+		o.fail(e.Time, "node %s: reason %s implies allowed=%v but record says %v",
+			r.Node, r.Reason, r.Reason.Allowed(), r.Allowed)
+		return
+	}
+	switch r.Reason {
+	case audit.ReasonCacheHit:
+		if r.Granters < 1 {
+			o.fail(e.Time, "node %s: cache-hit allow for %s/%s cites no granting manager", r.Node, r.App, r.User)
+		}
+		if !r.Expiry.IsZero() {
+			residual := r.Expiry.Sub(r.T)
+			if residual <= 0 {
+				o.fail(e.Time, "node %s: cache-hit allow for %s/%s cites an entry already expired %s earlier",
+					r.Node, r.App, r.User, -residual)
+			} else if o.te > 0 && residual > o.te {
+				o.fail(e.Time, "node %s: cache-hit allow for %s/%s cites a grant expiring %s after the decision, beyond the revocation bound te=%s (stale or inflated grant)",
+					r.Node, r.App, r.User, residual, o.te)
+			}
+		}
+	case audit.ReasonQuorumAllow:
+		if o.quorum > 0 && r.Confirmations < o.quorum {
+			o.fail(e.Time, "node %s: quorum allow for %s/%s cites %d confirmations, quorum is %d",
+				r.Node, r.App, r.User, r.Confirmations, o.quorum)
+		}
+		if n := countNames(r.Managers); n != r.Confirmations {
+			o.fail(e.Time, "node %s: quorum allow cites %d confirmations but names %d managers (%q)",
+				r.Node, r.Confirmations, n, r.Managers)
+		}
+		if o.te > 0 && r.Expire > o.te {
+			o.fail(e.Time, "node %s: quorum allow for %s/%s cites granted te=%s beyond the revocation bound te=%s (inflated grant)",
+				r.Node, r.App, r.User, r.Expire, o.te)
+		}
+		if r.Attempts < 1 {
+			o.fail(e.Time, "node %s: quorum allow with no query attempts", r.Node)
+		}
+	case audit.ReasonQuorumDeny:
+		if r.Queried < 1 {
+			o.fail(e.Time, "node %s: quorum deny for %s/%s queried no managers", r.Node, r.App, r.User)
+		} else if r.Denials <= r.Queried-o.quorum {
+			o.fail(e.Time, "node %s: quorum deny for %s/%s cites %d denials of %d queried — quorum %d was still reachable",
+				r.Node, r.App, r.User, r.Denials, r.Queried, o.quorum)
+		}
+	case audit.ReasonDefaultAllow, audit.ReasonUnreachableDeny, audit.ReasonResolveAllow:
+		if o.maxAttempts > 0 && r.Attempts < o.maxAttempts {
+			o.fail(e.Time, "node %s: %s for %s/%s after only %d of %d attempts",
+				r.Node, r.Reason, r.App, r.User, r.Attempts, o.maxAttempts)
+		}
+	case audit.ReasonResolveDeny:
+		// Attempts == 0 is legal only for the degenerate no-name-service
+		// deny; a resolve-timeout deny must have exhausted R.
+		if o.maxAttempts > 0 && r.Attempts != 0 && r.Attempts < o.maxAttempts {
+			o.fail(e.Time, "node %s: resolve deny for %s/%s after only %d of %d attempts",
+				r.Node, r.App, r.User, r.Attempts, o.maxAttempts)
+		}
+	}
+}
+
+// countNames counts comma-separated names ("m0,m2" → 2; "" → 0).
+func countNames(s string) int {
+	if s == "" {
+		return 0
+	}
+	return strings.Count(s, ",") + 1
 }

@@ -154,13 +154,19 @@ func worldConfig(sc Scenario, opt Options) sim.Config {
 		},
 		// Every harness world flies with the recorder on, so a failing seed
 		// explains itself: the ring is sized to hold a full scenario's
-		// events per node at harness scale.
+		// events per node at harness scale. The audit ring rides along at
+		// the same scale so the audit-completeness oracle sees every
+		// decision's provenance.
 		FlightRing: flightRing,
+		AuditRing:  auditRing,
 	}
 }
 
 // flightRing is the per-node flight ring size for harness runs.
 const flightRing = 8192
+
+// auditRing is the per-node audit ring size for harness runs.
+const auditRing = 8192
 
 func userID(i int) wire.UserID { return wire.UserID(fmt.Sprintf("u%d", i)) }
 
@@ -193,7 +199,7 @@ func RunScenario(sc Scenario, opt Options) (*Result, error) {
 		grantedAt: make(map[wire.UserID]time.Time),
 		inflight:  make(map[wire.UserID]bool),
 		lastReset: make([]time.Time, p.Hosts),
-		oracles:   NewOracleSet(p.Te, p.QueryTimeout, p.CacheLimit),
+		oracles:   NewOracleSet(p.Te, p.QueryTimeout, p.CacheLimit, p.CheckQuorum, p.MaxAttempts),
 	}
 	r.users = make([]wire.UserID, p.Users)
 	start := w.Sched.Now()
@@ -227,6 +233,7 @@ func RunScenario(sc Scenario, opt Options) (*Result, error) {
 	w.RunFor(p.Horizon + Settle)
 
 	r.oracles.AnalyzeTrace(w.Tracer.Events(), w.UpdateQuorumTimes())
+	r.oracles.AnalyzeAudit(w.Tracer.Events(), w.AuditDumps())
 
 	res := &Result{
 		Scenario:   sc,

@@ -27,6 +27,7 @@ func FormatResult(sc *Scenario, res *Result) string {
 		fmt.Fprintf(&b, "  submit-lag: p99 %s over %d measured (revocation submit → converged)\n",
 			fmtLag(res.SubmitLagP99), len(res.SubmitLags))
 	}
+	fmt.Fprintf(&b, "  audit:      %s\n", res.Audit.Summary())
 	fmt.Fprintf(&b, "  network:    %s\n", res.Net)
 	if len(res.SLO) > 0 {
 		fmt.Fprintf(&b, "  slo:\n")

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
+	"wanac/internal/audit"
 	"wanac/internal/core"
 	"wanac/internal/flight"
 	"wanac/internal/harness"
@@ -18,6 +20,9 @@ import (
 const (
 	// flightRing sizes each node's flight recorder for scenario runs.
 	flightRing = 4096
+	// auditRing sizes each node's audit recorder; dimensioned like the
+	// flight ring so the audit-completeness oracle rarely sees drops.
+	auditRing = 8192
 	// minRate floors the arrival rate so the sampler never divides by zero.
 	minRate = 0.05
 	// maxGap bounds one arrival draw so rate ramps (flash crowds) are
@@ -63,7 +68,11 @@ type Result struct {
 	// SLO holds the final state of every scenario SLO (slo.go): windowed
 	// SLI, budget consumed, and the burn-rate alert's firing history.
 	SLO []SLOReport
-	// Oracles and Violations are the four harness oracles' verdicts.
+	// Audit aggregates decision provenance: exact per-reason decision
+	// counts (read from the wanac_host_check_reasons_total counter family,
+	// so immune to ring drops) plus the audit rings' record/drop totals.
+	Audit AuditTotals
+	// Oracles and Violations are the five harness oracles' verdicts.
 	Oracles    []harness.OracleReport
 	Violations []harness.Violation
 	// Flight is the merged flight dump with violation marks (nil on clean
@@ -76,6 +85,34 @@ type Result struct {
 
 // Failed reports whether any oracle fired.
 func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// AuditTotals aggregates the audit subsystem's view of one run.
+type AuditTotals struct {
+	// Reasons counts completed decisions by audit reason (keyed by the
+	// reason's stable name, e.g. "cache_hit"), summed across hosts.
+	Reasons map[string]uint64
+	// Records counts audit records accepted across every node ring
+	// (decisions and manager responses); Dropped counts those the bounded
+	// rings overwrote before the end-of-run dump.
+	Records uint64
+	Dropped uint64
+}
+
+// Summary renders the totals as the transcript's one-line `audit:` field:
+// nonzero decision reasons in canonical order, then ring accounting.
+func (a AuditTotals) Summary() string {
+	var parts []string
+	for _, reason := range audit.DecisionReasons {
+		if n := a.Reasons[reason.String()]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", reason, n))
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "no decisions")
+	}
+	return fmt.Sprintf("%s (%d records, %d ring drops)",
+		strings.Join(parts, " "), a.Records, a.Dropped)
+}
 
 // OverloadTotals sums the overload-protection telemetry across nodes.
 type OverloadTotals struct {
@@ -171,6 +208,7 @@ func Run(sc *Scenario, seed int64) (*Result, error) {
 		ManagerCapacity: sc.Capacity,
 		Telemetry:       reg,
 		FlightRing:      flightRing,
+		AuditRing:       auditRing,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: build world: %w", sc.Name, err)
@@ -195,7 +233,7 @@ func Run(sc *Scenario, seed int64) (*Result, error) {
 		// The load/population stream draws from its own rng so the network's
 		// loss/latency draws don't shift which user a check targets.
 		rng:       rand.New(rand.NewSource(seed + 1)),
-		oracles:   harness.NewOracleSet(sc.oracleTe(), p.QueryTimeout, sc.CacheLimit),
+		oracles:   harness.NewOracleSet(sc.oracleTe(), p.QueryTimeout, sc.CacheLimit, p.CheckQuorum, p.MaxAttempts),
 		users:     pop.AuthorizedUsers(),
 		revokedAt: make(map[wire.UserID]time.Time),
 		grantedAt: make(map[wire.UserID]time.Time),
@@ -229,12 +267,14 @@ func Run(sc *Scenario, seed int64) (*Result, error) {
 	w.RunFor(sc.Duration + harness.Settle)
 
 	r.oracles.AnalyzeTrace(w.Tracer.Events(), w.UpdateQuorumTimes())
+	r.oracles.AnalyzeAudit(w.Tracer.Events(), w.AuditDumps())
 	res := r.res
 	res.Oracles = r.oracles.Reports()
 	res.Violations = r.oracles.Violations()
 	res.RevocationLagP99 = p99(res.RevocationLags)
 	res.SubmitLagP99 = p99(res.SubmitLags)
 	r.gatherOverload()
+	r.gatherAudit(reg)
 	r.gatherSLO(engine)
 	res.Net = w.Net.Stats()
 	if res.Failed() {
@@ -457,6 +497,23 @@ func (r *runtime) gatherOverload() {
 			o.CapacityDrops[0] += st.Dropped[0]
 			o.CapacityDrops[1] += st.Dropped[1]
 		}
+	}
+}
+
+// gatherAudit folds the run's decision provenance into the result: exact
+// per-reason counts from the telemetry counters plus record/drop totals
+// from the per-node audit rings (called once, after the run).
+func (r *runtime) gatherAudit(reg *telemetry.Registry) {
+	a := &r.res.Audit
+	a.Reasons = make(map[string]uint64)
+	for reason, n := range core.ReasonCounts(reg) {
+		if n > 0 {
+			a.Reasons[reason.String()] = n
+		}
+	}
+	for _, d := range r.w.AuditDumps() {
+		a.Records += d.Header.Total
+		a.Dropped += d.Header.Dropped
 	}
 }
 

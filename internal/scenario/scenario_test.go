@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -101,8 +102,8 @@ func TestCIFastScenarios(t *testing.T) {
 				}
 				t.Fatalf("scenario %s violated its oracles", name)
 			}
-			if len(res.Oracles) != 4 {
-				t.Fatalf("attached %d oracles, want 4: %+v", len(res.Oracles), res.Oracles)
+			if len(res.Oracles) != 5 {
+				t.Fatalf("attached %d oracles, want 5: %+v", len(res.Oracles), res.Oracles)
 			}
 			if res.Decisions == 0 {
 				t.Fatal("scenario decided nothing")
@@ -125,8 +126,8 @@ func TestFullCatalogRuns(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(res.Oracles) != 4 {
-				t.Fatalf("attached %d oracles, want 4", len(res.Oracles))
+			if len(res.Oracles) != 5 {
+				t.Fatalf("attached %d oracles, want 5", len(res.Oracles))
 			}
 			if res.Decisions == 0 {
 				t.Fatal("scenario decided nothing")
@@ -163,14 +164,29 @@ func TestStaleAllowDemo(t *testing.T) {
 	if !res.Failed() {
 		t.Fatal("broken scenario ran clean; expected revocation-safety violations")
 	}
-	revViolations := 0
+	revViolations, auditViolations, staleGrant := 0, 0, 0
 	for _, v := range res.Violations {
-		if v.Oracle == harness.OracleRevocation {
+		switch v.Oracle {
+		case harness.OracleRevocation:
 			revViolations++
+		case harness.OracleAudit:
+			auditViolations++
+			if strings.Contains(v.Detail, "beyond the revocation bound") {
+				staleGrant++
+			}
 		}
 	}
 	if revViolations == 0 {
 		t.Fatalf("no revocation-safety violations; got %+v", res.Violations)
+	}
+	// The audit trail must make the same leak self-explaining: records that
+	// cite grants outliving the configured te (the inflated bound is the
+	// injected bug) surface as audit-completeness violations.
+	if auditViolations == 0 {
+		t.Fatalf("audit oracle silent on the stale-allow leak; got %+v", res.Violations)
+	}
+	if staleGrant == 0 {
+		t.Fatalf("no audit record cited a grant beyond the revocation bound; got %+v", res.Violations)
 	}
 	if res.Flight == nil {
 		t.Fatal("failed run produced no flight dump")

@@ -2,9 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"wanac/internal/acl"
+	"wanac/internal/audit"
 	"wanac/internal/core"
 	"wanac/internal/flight"
 	"wanac/internal/nameservice"
@@ -76,6 +78,13 @@ type Config struct {
 	// World.FlightDump. Ignored under NoTrace (flight records are built
 	// from trace events).
 	FlightRing int
+	// AuditRing, when > 0, attaches a decision-provenance audit ring
+	// holding that many records to every node (internal/audit): hosts
+	// record one entry per decision, managers one per query verdict,
+	// each stamped by the node's own clock. Independent of NoTrace —
+	// audit records are emitted directly, not derived from trace events.
+	// See World.Audits and World.AuditDumps.
+	AuditRing int
 }
 
 // World is a fully wired simulated deployment.
@@ -93,6 +102,9 @@ type World struct {
 	// Flights holds each node's flight recorder (plus the "net"
 	// pseudo-node) when Config.FlightRing is set; nil otherwise.
 	Flights map[wire.NodeID]*flight.Recorder
+	// Audits holds each node's audit recorder when Config.AuditRing is
+	// set; nil otherwise.
+	Audits map[wire.NodeID]*audit.Recorder
 }
 
 // ManagerID returns the node id of manager i.
@@ -175,6 +187,21 @@ func Build(cfg Config) (*World, error) {
 		}
 	}
 
+	// Audit recording: one per-node provenance ring, stamped by the node's
+	// own clock, emitted at the decision sites themselves (independent of
+	// the trace chain above).
+	newAudit := func(id wire.NodeID, now func() time.Time) *audit.Recorder {
+		if cfg.AuditRing <= 0 {
+			return nil
+		}
+		rec := audit.NewRecorder(string(id), cfg.AuditRing, now)
+		if w.Audits == nil {
+			w.Audits = make(map[wire.NodeID]*audit.Recorder)
+		}
+		w.Audits[id] = rec
+		return rec
+	}
+
 	managerIDs := make([]wire.NodeID, cfg.Managers)
 	for i := range managerIDs {
 		managerIDs[i] = ManagerID(i)
@@ -203,6 +230,9 @@ func Build(cfg Config) (*World, error) {
 		}
 		if cfg.Telemetry != nil {
 			core.InstrumentManager(cfg.Telemetry, cfg.Spans, mgr)
+		}
+		if rec := newAudit(managerIDs[i], env.Now); rec != nil {
+			mgr.SetAudit(rec)
 		}
 		net.Attach(managerIDs[i], mgr)
 		if cfg.ManagerCapacity.ServiceTime > 0 {
@@ -256,6 +286,9 @@ func Build(cfg Config) (*World, error) {
 		}
 		if cfg.Telemetry != nil {
 			core.InstrumentHost(cfg.Telemetry, cfg.Spans, host)
+		}
+		if rec := newAudit(id, env.Now); rec != nil {
+			host.SetAudit(rec)
 		}
 		net.Attach(id, host)
 		w.Hosts = append(w.Hosts, host)
@@ -464,4 +497,34 @@ func (w *World) FlightDump() *flight.Dump {
 		dumps = append(dumps, rec.Dump())
 	}
 	return flight.Merge(dumps...)
+}
+
+// AuditDumps snapshots every node's audit ring as one dump per node,
+// ordered by node id — the shape the harness audit oracle consumes
+// (per-node drop accounting must survive, so they are not merged here).
+// Nil when audit recording is off.
+func (w *World) AuditDumps() []*audit.Dump {
+	if w.Audits == nil {
+		return nil
+	}
+	ids := make([]string, 0, len(w.Audits))
+	for id := range w.Audits {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	dumps := make([]*audit.Dump, 0, len(ids))
+	for _, id := range ids {
+		dumps = append(dumps, w.Audits[wire.NodeID(id)].Dump())
+	}
+	return dumps
+}
+
+// AuditDump merges a snapshot of every node's audit ring into one dump,
+// ready for cmd/acaudit. Nil when audit recording is off.
+func (w *World) AuditDump() *audit.Dump {
+	dumps := w.AuditDumps()
+	if dumps == nil {
+		return nil
+	}
+	return audit.Merge(dumps...)
 }

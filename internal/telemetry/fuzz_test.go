@@ -81,6 +81,57 @@ func FuzzParseText(f *testing.F) {
 	})
 }
 
+// FuzzParseMetrics pins the escape round trip on the full sample parser:
+// any label value — backslashes, quotes, embedded newlines — survives
+// write→ParseMetrics unchanged, and re-writing the decoded value is a
+// fixed point (escapeLabel and unescapeLabel are exact inverses on the
+// writer's image). The audit reason labels ride this path, so a lossy
+// escape here would silently corrupt provenance counters.
+func FuzzParseMetrics(f *testing.F) {
+	for _, s := range []string{
+		"", "plain", `back\slash`, `quo"te`, "new\nline",
+		`trailing\`, "mix \\ \" \n end", `\n`, `\\" literal escapes`,
+	} {
+		f.Add(s, "Help for "+s)
+	}
+	f.Fuzz(func(t *testing.T, value, help string) {
+		write := func(v string) string {
+			reg := NewRegistry()
+			reg.CounterVec("wanac_fuzz_roundtrip_total", help, "reason").With(v).Inc()
+			var buf bytes.Buffer
+			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.String()
+		}
+		first := write(value)
+		m, err := ParseMetrics(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("writer output rejected by ParseMetrics: %v\n%q", err, first)
+		}
+		var got string
+		found := false
+		for _, s := range m.Samples {
+			if s.Name != "wanac_fuzz_roundtrip_total" {
+				continue
+			}
+			if found {
+				t.Fatalf("one series wrote %d samples:\n%q", len(m.Samples), first)
+			}
+			got, found = s.Label("reason")
+		}
+		if !found {
+			t.Fatalf("sample lost in round trip:\n%q", first)
+		}
+		if got != value {
+			t.Fatalf("label value %q decoded as %q", value, got)
+		}
+		if second := write(got); second != first {
+			t.Fatalf("write→parse→write not a fixed point:\n--- first ---\n%q\n--- second ---\n%q", first, second)
+		}
+	})
+}
+
 // TestPrometheusWriteParseFixedPoint is the round-trip property behind
 // the fuzz corpus: the writer's output always parses, the parsed
 // family types match what was registered, and writing again produces

@@ -47,6 +47,20 @@ echo "== flight recorder (race, repeated)"
 go test -race -count=2 ./internal/flight ./cmd/acflight
 go test -race -run TestDebugFlightEndpoint -count=1 ./cmd/acnode
 
+echo "== decision provenance / audit (race, repeated)"
+# Every completed allow/deny must leave exactly one audit record whose
+# evidence withstands adversarial checking: the reason taxonomy and the
+# zero-alloc ring, the host/manager emission-exactness tests (records,
+# HostStats, and the reason-labeled counters must agree record for
+# record), the audit-completeness oracle, the acaudit evidence-chain
+# goldens, acctl's check/explain surface, the live /debug/audit endpoint
+# with -audit.jsonl streaming, and the cached-check allocation budget
+# with auditing attached (still 1 alloc/op).
+go test -race -count=2 ./internal/audit ./cmd/acaudit ./cmd/acctl
+go test -race -count=2 -run 'Audit' ./internal/core ./internal/harness ./internal/scenario
+go test -race -run TestDebugAuditEndpoint -count=1 ./cmd/acnode
+go test -race -run TestCacheHitCheckAllocationBudgetWithAudit -count=1 .
+
 echo "== metrics endpoint smoke"
 # Boots a live two-manager/one-host deployment over TCP, drives a check,
 # scrapes /metrics on host and manager, and fails on malformed exposition,
@@ -84,7 +98,7 @@ go test -race -count=1 -run 'TestOverload100xRevocationLagBurnAlert|TestSteadyBa
 echo "== scenario suite (race, repeated)"
 # Three fast catalog scenarios (steady-baseline, oneway-blackout,
 # revoke-under-partition) re-run end to end under the race detector with
-# all four oracles attached; the test fails on any oracle violation, so a
+# all five oracles attached; the test fails on any oracle violation, so a
 # regression in revocation safety or failover shows up here, not in prod.
 go test -race -count=2 -run TestCIFastScenarios ./internal/scenario
 
@@ -102,7 +116,7 @@ echo "== overload experiment (race, repeated)"
 # The 100×-flood proof: protected (lanes + admission + adaptive Te) keeps
 # revocation submit→converged p99 within the promised bound while the
 # unprotected FIFO baseline leaks, with telemetry asserted exactly; plus
-# the overload-100x catalog scenario end to end with all four oracles.
+# the overload-100x catalog scenario end to end with all five oracles.
 go test -race -count=2 -run 'TestOverloadProtectionBoundsRevocationLag' ./internal/scenario
 go test -race -count=1 -run 'TestFullCatalogRuns/overload-100x' ./internal/scenario
 
